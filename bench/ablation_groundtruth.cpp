@@ -1,0 +1,90 @@
+// Ablation — ground-truth and estimator assumptions (DESIGN.md §6):
+//   1. Feed latency: FlightRadar24 reports ~10 s late (=2.5 km position
+//      staleness at jet speeds). ICAO-keyed matching should be insensitive;
+//      position error should grow linearly with latency.
+//   2. Near-field gate: the paper's <20 km "received regardless of
+//      direction" effect is directional noise — sweep the gate radius and
+//      measure FoV estimation accuracy with and without it.
+#include <iostream>
+
+#include "calib/fov.hpp"
+#include "scenario/testbed.hpp"
+#include "util/table.hpp"
+
+using namespace speccal;
+
+int main() {
+  std::cout << "==========================================================\n";
+  std::cout << " Ablation: ground-truth latency & near-field gating\n";
+  std::cout << "==========================================================\n";
+
+  // ---- 1. Latency sweep ---------------------------------------------------
+  util::Table latency_table({"latency s", "matched aircraft", "mean pos err km",
+                             "max pos err km"});
+  for (double latency : {0.0, 5.0, 10.0, 30.0, 60.0}) {
+    const auto world = scenario::make_world(2023);
+    const auto setup = scenario::make_site(scenario::Site::kRooftop, 2023);
+    auto device = scenario::make_node(setup, world, 2023);
+    airtraffic::GroundTruthService gt(*world.sky, latency);
+
+    calib::SurveyConfig cfg;
+    cfg.fidelity = calib::Fidelity::kLinkBudget;
+    const auto result = calib::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+
+    double err_sum = 0.0, err_max = 0.0;
+    std::size_t matched = 0;
+    for (const auto& obs : result.observations) {
+      if (!obs.received || !obs.decoded_position) continue;
+      const double err =
+          geo::haversine_m(obs.position, *obs.decoded_position) / 1e3;
+      err_sum += err;
+      err_max = std::max(err_max, err);
+      ++matched;
+    }
+    latency_table.add_row({util::format_fixed(latency, 0), std::to_string(matched),
+                           matched ? util::format_fixed(err_sum / matched, 2) : "-",
+                           util::format_fixed(err_max, 2)});
+  }
+  latency_table.set_title(
+      "1) Ground-truth feed latency (paper: FR24 ~10 s => <=2.5 km, fine for"
+      " ICAO matching)");
+  latency_table.print(std::cout);
+
+  // ---- 2. Near-field gate sweep --------------------------------------------
+  util::Table gate_table({"gate km", "rooftop acc", "window acc", "indoor acc"});
+  for (double gate : {0.0, 10.0, 25.0, 40.0, 60.0}) {
+    std::vector<std::string> row{util::format_fixed(gate, 0)};
+    for (auto site : {scenario::Site::kRooftop, scenario::Site::kWindow,
+                      scenario::Site::kIndoor}) {
+      double acc = 0.0;
+      constexpr int kRepeats = 5;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const std::uint64_t seed = 3000 + static_cast<std::uint64_t>(rep) * 17;
+        const auto world = scenario::make_world(seed);
+        const auto setup = scenario::make_site(site, seed);
+        auto device = scenario::make_node(setup, world, seed);
+        airtraffic::GroundTruthService gt(*world.sky, 10.0);
+        calib::SurveyConfig cfg;
+        cfg.fidelity = calib::Fidelity::kLinkBudget;
+        const auto survey = calib::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+        calib::FovConfig fov_cfg;
+        fov_cfg.near_field_km = gate;
+        const auto est = calib::estimate_fov_knn(survey, fov_cfg);
+        acc += calib::fov_accuracy(est,
+                                   setup.obstructions->clear_sectors(1090e6));
+      }
+      row.push_back(util::format_fixed(acc / kRepeats, 3));
+    }
+    gate_table.add_row(std::move(row));
+  }
+  gate_table.set_title(
+      "\n2) Near-field gate radius vs KNN FoV accuracy (5 skies each)");
+  gate_table.print(std::cout);
+
+  std::cout << "\nReading: latency leaves ICAO matching intact (same matched\n"
+               "count) while position staleness grows ~0.2 km/s of latency;\n"
+               "disabling the near-field gate (0 km) poisons the estimator with\n"
+               "omnidirectional close-in receptions, and an over-aggressive\n"
+               "gate (60 km) discards most of the evidence.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment 6 — §5 "End-to-end system": ML-style field-of-view estimation.
+//
+// "use model-based or ML-based techniques to calibrate a sensor given the
+//  observed and ground-truth airplane locations ... such as k-nearest
+//  neighbors (KNN) ... to estimate the true sensor field of view."
+//
+// Sweeps sky density (traffic volume) and measurement duration, comparing
+// the sector-histogram baseline against the KNN estimator. Accuracy is the
+// Jaccard overlap between the estimated open azimuth set and the site's
+// true clear sectors. Averaged over 5 sky realizations per cell.
+#include <iostream>
+
+#include "calib/fov.hpp"
+#include "scenario/testbed.hpp"
+#include "util/table.hpp"
+
+using namespace speccal;
+
+namespace {
+
+struct Cell {
+  double sector_acc = 0.0;
+  double knn_acc = 0.0;
+  double observations = 0.0;
+};
+
+Cell evaluate(scenario::Site site, std::size_t aircraft, double duration_s) {
+  Cell out;
+  constexpr int kRepeats = 5;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const std::uint64_t seed = 7000 + static_cast<std::uint64_t>(rep) * 13;
+    const auto world = scenario::make_world(seed, aircraft);
+    const auto setup = scenario::make_site(site, seed);
+    auto device = scenario::make_node(setup, world, seed);
+    airtraffic::GroundTruthService gt(*world.sky, world.ground_truth_latency_s);
+
+    calib::SurveyConfig cfg;
+    cfg.fidelity = calib::Fidelity::kLinkBudget;
+    cfg.duration_s = duration_s;
+    cfg.ground_truth_query_at_s = duration_s / 2.0;
+    const auto survey = calib::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+
+    const auto truth = setup.obstructions->clear_sectors(1090e6);
+    const auto sector_est = calib::estimate_fov_sectors(survey);
+    const auto knn_est = calib::estimate_fov_knn(survey);
+    out.sector_acc += calib::fov_accuracy(sector_est, truth);
+    out.knn_acc += calib::fov_accuracy(knn_est, truth);
+    out.observations += static_cast<double>(knn_est.usable_observations);
+  }
+  out.sector_acc /= kRepeats;
+  out.knn_acc /= kRepeats;
+  out.observations /= kRepeats;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==========================================================\n";
+  std::cout << " Exp 6: FoV estimation accuracy (sector baseline vs KNN)\n";
+  std::cout << "==========================================================\n";
+
+  for (auto site : {scenario::Site::kRooftop, scenario::Site::kWindow}) {
+    util::Table table({"aircraft", "duration s", "usable obs", "sector acc",
+                       "KNN acc"});
+    for (std::size_t aircraft : {15u, 30u, 70u, 120u}) {
+      for (double duration : {30.0, 120.0}) {
+        const Cell cell = evaluate(site, aircraft, duration);
+        table.add_row({std::to_string(aircraft), util::format_fixed(duration, 0),
+                       util::format_fixed(cell.observations, 1),
+                       util::format_fixed(cell.sector_acc, 3),
+                       util::format_fixed(cell.knn_acc, 3)});
+      }
+    }
+    table.set_title("\nSite: " + scenario::site_name(site) +
+                    " (mean of 5 sky realizations)");
+    table.print(std::cout);
+  }
+
+  std::cout << "\nReading: accuracy rises with traffic (more azimuth samples).\n"
+               "In sparse skies the interpolating histogram is the safer bet —\n"
+               "its wide bins average away single misleading observations — while\n"
+               "KNN pulls ahead once traffic or dwell time grows (>=70 aircraft or\n"
+               "120 s windows), where its finer angular resolution pays off. The\n"
+               "paper's 30 s window with a full urban sky (~70 aircraft) already\n"
+               "yields a usable estimate from either method.\n";
+  return 0;
+}

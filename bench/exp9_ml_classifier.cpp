@@ -1,0 +1,92 @@
+// Experiment 9 — §5: ML-based indoor/outdoor classification versus the
+// rule-based baseline.
+//
+// Trains the logistic-regression classifier on calibration reports from
+// simulated fleets (several sky seeds x three sites), evaluates on held-out
+// seeds, and compares against the zero-data rule-based classifier. Also
+// prints the learned weights — which calibration feature carries the
+// indoor/outdoor signal.
+#include <iostream>
+#include <vector>
+
+#include "calib/ml.hpp"
+#include "scenario/testbed.hpp"
+#include "util/table.hpp"
+
+using namespace speccal;
+
+namespace {
+
+calib::CalibrationReport calibrate(scenario::Site site, std::uint64_t seed) {
+  const auto world = scenario::make_world(seed);
+  const auto setup = scenario::make_site(site, seed);
+  auto device = scenario::make_node(setup, world, seed);
+  calib::NodeClaims claims;
+  claims.node_id = scenario::site_name(site);
+  calib::PipelineConfig cfg;
+  cfg.survey.fidelity = calib::Fidelity::kLinkBudget;
+  return calib::CalibrationPipeline(world, cfg).calibrate(*device, claims);
+}
+
+constexpr scenario::Site kSites[] = {scenario::Site::kRooftop,
+                                     scenario::Site::kWindow,
+                                     scenario::Site::kIndoor};
+
+}  // namespace
+
+int main() {
+  std::cout << "==========================================================\n";
+  std::cout << " Exp 9: ML indoor/outdoor classifier vs rule baseline\n";
+  std::cout << "==========================================================\n";
+
+  // Training fleet: 8 seeds x 3 sites = 24 calibration reports.
+  std::vector<calib::MlFeatures> train_x;
+  std::vector<bool> train_y;
+  std::cout << "calibrating training fleet (24 nodes)...\n";
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    for (auto site : kSites) {
+      train_x.push_back(calib::MlFeatures::from_report(calibrate(site, seed)));
+      train_y.push_back(site != scenario::Site::kRooftop);
+    }
+  }
+  calib::IndoorClassifier clf;
+  const double loss = clf.train(train_x, train_y);
+  std::cout << "training loss: " << util::format_fixed(loss, 4) << "\n\n";
+
+  util::Table weights({"feature", "weight"});
+  for (std::size_t k = 0; k < calib::MlFeatures::kCount; ++k)
+    weights.add_row({calib::MlFeatures::name(k),
+                     util::format_fixed(clf.weights()[k], 2)});
+  weights.set_title("Learned weights (positive pushes toward 'indoor')");
+  weights.print(std::cout);
+
+  // Held-out evaluation: 6 new seeds x 3 sites.
+  int ml_correct = 0, rule_correct = 0, total = 0;
+  util::Table results({"seed", "site", "truth", "ML P(indoor)", "ML", "rules"});
+  for (std::uint64_t seed = 200; seed < 206; ++seed) {
+    for (auto site : kSites) {
+      const auto report = calibrate(site, seed);
+      const bool truth = site != scenario::Site::kRooftop;
+      const auto features = calib::MlFeatures::from_report(report);
+      const double p = clf.predict_probability(features);
+      const bool ml = p >= 0.5;
+      const bool rules = report.classification.indoor();
+      ml_correct += ml == truth;
+      rule_correct += rules == truth;
+      ++total;
+      results.add_row({std::to_string(seed), scenario::site_name(site),
+                       truth ? "indoor" : "outdoor", util::format_fixed(p, 2),
+                       ml == truth ? "ok" : "WRONG", rules == truth ? "ok" : "WRONG"});
+    }
+  }
+  results.set_title("\nHeld-out evaluation (6 unseen skies x 3 sites)");
+  results.print(std::cout);
+
+  std::cout << "\nML accuracy        : " << ml_correct << "/" << total << "\n";
+  std::cout << "rule-based accuracy: " << rule_correct << "/" << total << "\n";
+  std::cout << "\nReading: both classifiers separate the testbed sites; the\n"
+               "trained model additionally yields calibrated probabilities and\n"
+               "adapts to fleet-specific siting patterns without re-tuning the\n"
+               "hand-written thresholds (the paper's §5 motivation for ML).\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Figure 1 — "ADS-B performance for measuring directionality".
+//
+// Reproduces the paper's polar scatter plots as text: for each of the three
+// sites (rooftop / behind-window / indoor) run the 30-second procedure of
+// §3.1 (decode ADS-B, query ground truth at t=15 s within 100 km, join by
+// ICAO) through the FULL waveform pipeline, then print
+//   * per-30°-sector reception statistics (the polar plot, textual),
+//   * the maximum reception range per sector,
+//   * the paper's headline numbers: max range in the open sector, and the
+//     radius inside which aircraft are received regardless of direction.
+// A link-budget repetition sweep (the paper repeated the experiment >10x)
+// checks stability across sky realizations.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "calib/fov.hpp"
+#include "scenario/testbed.hpp"
+#include "util/table.hpp"
+
+using namespace speccal;
+
+namespace {
+
+struct SectorStats {
+  int received = 0;
+  int missed = 0;
+  double max_received_km = 0.0;
+};
+
+void run_site(scenario::Site site, std::uint64_t seed) {
+  const auto world = scenario::make_world(seed);
+  const auto setup = scenario::make_site(site, seed);
+  auto device = scenario::make_node(setup, world, seed);
+  airtraffic::GroundTruthService gt(*world.sky, world.ground_truth_latency_s);
+
+  calib::SurveyConfig cfg;  // paper defaults: 30 s, 100 km, query at 15 s
+  const auto result = calib::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+
+  std::cout << "\n--- Figure 1 (" << scenario::site_name(site) << ") ---\n";
+  std::cout << "ground-truth aircraft within 100 km : " << result.observations.size()
+            << "\n";
+  std::cout << "received (blue)                     : " << result.received_count()
+            << "\n";
+  std::cout << "missed (gray)                       : " << result.missed_count()
+            << "\n";
+  std::cout << "frames decoded                      : " << result.total_frames_decoded
+            << " (" << result.frames_crc_repaired << " CRC-repaired)\n";
+
+  // 30-degree polar histogram (12 sectors, like reading the paper's plot).
+  std::map<int, SectorStats> sectors;
+  double far_received_km = 0.0;
+  double omni_radius_km = 0.0;  // farthest reception in a *blocked* direction
+  for (const auto& obs : result.observations) {
+    auto& s = sectors[static_cast<int>(obs.azimuth_deg / 30.0) % 12];
+    if (obs.received) {
+      ++s.received;
+      s.max_received_km = std::max(s.max_received_km, obs.range_km);
+      far_received_km = std::max(far_received_km, obs.range_km);
+    } else {
+      ++s.missed;
+    }
+  }
+  const auto truth_clear = setup.obstructions->clear_sectors(1090e6);
+  std::vector<double> blocked_rx_km;
+  for (const auto& obs : result.observations)
+    if (obs.received && !truth_clear.contains(obs.azimuth_deg))
+      blocked_rx_km.push_back(obs.range_km);
+  if (!blocked_rx_km.empty()) {
+    // Report the typical (median) blocked-direction reach; the max is a
+    // one-aircraft shadow-fading tail.
+    std::sort(blocked_rx_km.begin(), blocked_rx_km.end());
+    omni_radius_km = blocked_rx_km[blocked_rx_km.size() / 2];
+  }
+
+  util::Table table({"sector", "truth", "received/present", "max rx km", "plot"});
+  for (int s = 0; s < 12; ++s) {
+    const auto& st = sectors[s];
+    const double center = s * 30.0 + 15.0;
+    table.add_row({std::to_string(s * 30) + "-" + std::to_string(s * 30 + 30),
+                   truth_clear.contains(center) ? "open" : "blocked",
+                   std::to_string(st.received) + "/" +
+                       std::to_string(st.received + st.missed),
+                   util::format_fixed(st.max_received_km, 0),
+                   util::ascii_bar(st.max_received_km, 0.0, 100.0, 20)});
+  }
+  table.print(std::cout);
+
+  std::cout << "max reception range (open sector)    : "
+            << util::format_fixed(far_received_km, 0) << " km   [paper: "
+            << (site == scenario::Site::kRooftop
+                    ? "95 km west"
+                    : site == scenario::Site::kWindow ? "80 km in slim sector"
+                                                      : "close-in only")
+            << "]\n";
+  std::cout << "received-regardless-of-direction radius: "
+            << util::format_fixed(omni_radius_km, 0)
+            << " km typical (max "
+            << util::format_fixed(blocked_rx_km.empty() ? 0.0 : blocked_rx_km.back(), 0)
+            << ")   [paper: ~20 km at every location]\n";
+
+  const auto fov = calib::estimate_fov_knn(result);
+  std::cout << "estimated field of view              : "
+            << fov.open_sectors.to_string() << "\n";
+  std::cout << "true field of view                   : " << truth_clear.to_string()
+            << "\n";
+  std::cout << "estimate/truth overlap (Jaccard)     : "
+            << util::format_fixed(calib::fov_accuracy(fov, truth_clear), 2) << "\n";
+}
+
+void repetition_sweep(scenario::Site site) {
+  // The paper: "We repeated these experiments over 10 times ... obtaining
+  // similar results." Ten sky realizations in link-budget fidelity.
+  std::cout << "\nrepetition sweep (" << scenario::site_name(site)
+            << ", 10 sky realizations, link-budget fidelity):\n  received/present: ";
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto world = scenario::make_world(seed * 101);
+    const auto setup = scenario::make_site(site, seed * 101);
+    auto device = scenario::make_node(setup, world, seed * 101);
+    airtraffic::GroundTruthService gt(*world.sky, world.ground_truth_latency_s);
+    calib::SurveyConfig cfg;
+    cfg.fidelity = calib::Fidelity::kLinkBudget;
+    const auto result = calib::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+    std::cout << result.received_count() << "/" << result.observations.size() << " ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==========================================================\n";
+  std::cout << " Figure 1: ADS-B directional reception at three sites\n";
+  std::cout << " (30 s waveform survey, 100 km ground-truth radius)\n";
+  std::cout << "==========================================================\n";
+  constexpr std::uint64_t kSeed = 2023;
+  for (auto site : {scenario::Site::kRooftop, scenario::Site::kWindow,
+                    scenario::Site::kIndoor})
+    run_site(site, kSeed);
+  for (auto site : {scenario::Site::kRooftop, scenario::Site::kWindow,
+                    scenario::Site::kIndoor})
+    repetition_sweep(site);
+  std::cout << "\nShape check vs paper: rooftop reaches ~95 km only in the open\n"
+               "west sector; the window site reaches far only through its slim\n"
+               "sector; the indoor site sees close-in aircraft only; every site\n"
+               "receives nearby (<~20-25 km) aircraft regardless of direction.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks: Mode S / ADS-B hot paths (google-benchmark).
+//
+// The decoder must keep up with a live 2 Msps stream on a Raspberry-Pi
+// class host (§2), so demodulation throughput is the headline number.
+#include <benchmark/benchmark.h>
+
+#include "adsb/cpr.hpp"
+#include "adsb/crc.hpp"
+#include "adsb/decoder.hpp"
+#include "adsb/frame.hpp"
+#include "adsb/ppm.hpp"
+#include "util/rng.hpp"
+
+using namespace speccal;
+
+namespace {
+
+adsb::RawFrame sample_frame() {
+  return adsb::build_position_frame(0xA1B2C3, 37.87, -122.27, 35000.0, false);
+}
+
+void BM_Crc24(benchmark::State& state) {
+  const auto frame = sample_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(adsb::crc24(frame));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 14);
+}
+BENCHMARK(BM_Crc24);
+
+void BM_CrcRepair1Bit(benchmark::State& state) {
+  auto frame = sample_frame();
+  frame[5] ^= 0x08;  // single bit error
+  for (auto _ : state) {
+    auto work = frame;
+    benchmark::DoNotOptimize(adsb::repair_frame(work, 1));
+  }
+}
+BENCHMARK(BM_CrcRepair1Bit);
+
+void BM_CrcRepair2Bit(benchmark::State& state) {
+  auto frame = sample_frame();
+  frame[5] ^= 0x08;
+  frame[9] ^= 0x80;
+  for (auto _ : state) {
+    auto work = frame;
+    benchmark::DoNotOptimize(adsb::repair_frame(work, 2));
+  }
+}
+BENCHMARK(BM_CrcRepair2Bit);
+
+void BM_CprEncode(benchmark::State& state) {
+  double lat = 37.87;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adsb::cpr_encode(lat, -122.27, false));
+    lat += 1e-6;
+  }
+}
+BENCHMARK(BM_CprEncode);
+
+void BM_CprGlobalDecode(benchmark::State& state) {
+  const auto even = adsb::cpr_encode(37.87, -122.27, false);
+  const auto odd = adsb::cpr_encode(37.87, -122.27, true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(adsb::cpr_global_decode(even, odd, true));
+}
+BENCHMARK(BM_CprGlobalDecode);
+
+void BM_BuildPositionFrame(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        adsb::build_position_frame(0xA1B2C3, 37.87, -122.27, 35000.0, false));
+}
+BENCHMARK(BM_BuildPositionFrame);
+
+void BM_ParseFrame(benchmark::State& state) {
+  const auto frame = sample_frame();
+  for (auto _ : state) benchmark::DoNotOptimize(adsb::parse_frame(frame));
+}
+BENCHMARK(BM_ParseFrame);
+
+void BM_Modulate(benchmark::State& state) {
+  const auto frame = sample_frame();
+  dsp::Buffer buf(adsb::kFrameSamples, {0.0f, 0.0f});
+  for (auto _ : state) {
+    adsb::modulate_into(frame, 0.05, 0.0, 10e3, 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_Modulate);
+
+/// Demod throughput over a realistic second of air: noise + ~25 frames.
+void BM_DemodThroughput(benchmark::State& state) {
+  const auto msgs = static_cast<std::size_t>(state.range(0));
+  dsp::Buffer buf(1 << 20, {0.0f, 0.0f});
+  util::Rng rng(1);
+  for (auto& s : buf)
+    s = dsp::Sample(static_cast<float>(rng.normal(0.0, 1.5e-3)),
+                    static_cast<float>(rng.normal(0.0, 1.5e-3)));
+  for (std::size_t i = 0; i < msgs; ++i) {
+    const auto frame = adsb::build_ident_frame(
+        static_cast<std::uint32_t>(0x100000 + i), "BENCH");
+    adsb::modulate_into(frame, 0.05, 0.0, 0.0,
+                        20000 + i * (buf.size() - 40000) / std::max<std::size_t>(msgs, 1),
+                        buf);
+  }
+  const adsb::PpmDemodulator demod;
+  for (auto _ : state) benchmark::DoNotOptimize(demod.process(buf));
+  // Samples per second of wall time -> must exceed 2e6 for real-time.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_DemodThroughput)->Arg(0)->Arg(25)->Arg(100);
+
+void BM_DecoderFeed(benchmark::State& state) {
+  dsp::Buffer buf(1 << 18, {0.0f, 0.0f});
+  util::Rng rng(2);
+  for (auto& s : buf)
+    s = dsp::Sample(static_cast<float>(rng.normal(0.0, 1.5e-3)),
+                    static_cast<float>(rng.normal(0.0, 1.5e-3)));
+  for (int i = 0; i < 10; ++i)
+    adsb::modulate_into(adsb::build_position_frame(0xA00000 + i, 37.9, -122.3,
+                                                   30000.0, i % 2 == 1),
+                        0.05, 0.0, 0.0, 5000 + i * 25000, buf);
+  for (auto _ : state) {
+    adsb::Decoder decoder;
+    benchmark::DoNotOptimize(decoder.feed(buf, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_DecoderFeed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

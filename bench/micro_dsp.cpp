@@ -1,0 +1,109 @@
+// Microbenchmarks: DSP primitives behind the TV power meter and the
+// spectrum tooling (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/resampler.hpp"
+#include "dsp/welch.hpp"
+#include "dsp/window.hpp"
+#include "util/rng.hpp"
+
+using namespace speccal;
+
+namespace {
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto work = data;
+    dsp::fft_inplace(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_PowerSpectrum(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<std::complex<float>> data(8192);
+  for (auto& v : data)
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, data.size());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::power_spectrum(data, window));
+}
+BENCHMARK(BM_PowerSpectrum);
+
+void BM_FirFilter(benchmark::State& state) {
+  const auto taps_count = static_cast<std::size_t>(state.range(0));
+  const auto taps = dsp::design_bandpass(8e6, -2.69e6, 2.69e6, taps_count);
+  dsp::FirFilter filter(taps);
+  util::Rng rng(3);
+  std::vector<std::complex<float>> block(65536);
+  for (auto& v : block)
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  std::vector<std::complex<float>> out;
+  for (auto _ : state) {
+    out.clear();
+    filter.process(block, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // Samples/s: the TV meter needs >= 8 Msps equivalent offline throughput.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_FirFilter)->Arg(63)->Arg(129)->Arg(255);
+
+void BM_MovingAverage(benchmark::State& state) {
+  dsp::MovingAverage avg(100000);
+  double x = 0.123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avg.push(x));
+    x = x * 1.0000001;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MovingAverage);
+
+void BM_WelchPsd(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<std::complex<float>> block(160000);  // one 20 ms hop at 8 Msps
+  for (auto& v : block)
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::welch_psd(block, 8e6));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_WelchPsd);
+
+void BM_Decimator(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::complex<float>> block(65536);
+  for (auto& v : block)
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  dsp::Decimator dec(4, 8e6);
+  std::vector<std::complex<float>> out;
+  for (auto _ : state) {
+    out.clear();
+    dec.process(block, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_Decimator);
+
+void BM_FirDesign(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::design_bandpass(8e6, -2.69e6, 2.69e6, 129));
+}
+BENCHMARK(BM_FirDesign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

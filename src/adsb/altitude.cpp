@@ -1,0 +1,97 @@
+#include "adsb/altitude.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speccal::adsb {
+
+namespace {
+
+// AC12 bit positions, LSB = bit 0:
+//   MSB -> LSB: C1 A1 C2 A2 C4 A4 B1 Q B2 D2 B4 D4
+enum : unsigned {
+  kD4 = 0, kB4 = 1, kD2 = 2, kB2 = 3, kQ = 4, kB1 = 5,
+  kA4 = 6, kC4 = 7, kA2 = 8, kC2 = 9, kA1 = 10, kC1 = 11,
+};
+
+[[nodiscard]] unsigned bit(std::uint16_t v, unsigned index) noexcept {
+  return (v >> index) & 1u;
+}
+
+[[nodiscard]] std::uint32_t gray_to_binary(std::uint32_t gray) noexcept {
+  std::uint32_t bin = gray;
+  for (std::uint32_t shift = 1; shift < 16; shift <<= 1) bin ^= bin >> shift;
+  return bin;
+}
+
+[[nodiscard]] std::uint32_t binary_to_gray(std::uint32_t bin) noexcept {
+  return bin ^ (bin >> 1);
+}
+
+}  // namespace
+
+std::uint16_t encode_altitude_ft(double altitude_ft) noexcept {
+  const double clamped = std::clamp(altitude_ft, -1000.0, 50175.0);
+  const auto n = static_cast<std::uint32_t>(std::lround((clamped + 1000.0) / 25.0));
+  // AC12 layout: N[10:4] Q N[3:0] with Q at bit 4.
+  const std::uint32_t high = (n >> 4) & 0x7F;
+  const std::uint32_t low = n & 0x0F;
+  return static_cast<std::uint16_t>((high << 5) | (1u << 4) | low);
+}
+
+std::optional<double> decode_altitude_ft(std::uint16_t ac12) noexcept {
+  if (ac12 == 0) return std::nullopt;  // altitude unavailable
+
+  if (bit(ac12, kQ)) {
+    const std::uint32_t n = ((ac12 >> 5) << 4) | (ac12 & 0x0F);
+    return static_cast<double>(n) * 25.0 - 1000.0;
+  }
+
+  // Gillham (Mode C) decode. 500 ft Gray ladder: D2 D4 A1 A2 A4 B1 B2 B4.
+  const std::uint32_t gray500 =
+      (bit(ac12, kD2) << 7) | (bit(ac12, kD4) << 6) | (bit(ac12, kA1) << 5) |
+      (bit(ac12, kA2) << 4) | (bit(ac12, kA4) << 3) | (bit(ac12, kB1) << 2) |
+      (bit(ac12, kB2) << 1) | bit(ac12, kB4);
+  const std::uint32_t gray100 =
+      (bit(ac12, kC1) << 2) | (bit(ac12, kC2) << 1) | bit(ac12, kC4);
+
+  const std::uint32_t n500 = gray_to_binary(gray500);
+  std::uint32_t n100 = gray_to_binary(gray100);
+  if (n100 == 0 || n100 == 6) return std::nullopt;  // invalid sub-code
+  if (n100 == 7) n100 = 5;
+  if (n500 % 2 == 1) n100 = 6 - n100;  // reflected within odd 500 ft rungs
+  return static_cast<double>(n500) * 500.0 + static_cast<double>(n100) * 100.0 -
+         1300.0;
+}
+
+std::uint16_t encode_altitude_gillham_ft(double altitude_ft) noexcept {
+  // Quantize to the nearest 100 ft inside the code's range.
+  const double clamped = std::clamp(altitude_ft, -1200.0, 126'700.0);
+  const auto v = static_cast<std::uint32_t>(std::lround((clamped + 1200.0) / 100.0));
+  const std::uint32_t n500 = v / 5;
+  std::uint32_t n100 = v % 5 + 1;  // 1..5
+  if (n500 % 2 == 1) n100 = 6 - n100;
+
+  const std::uint32_t gray500 = binary_to_gray(n500);
+  const std::uint32_t gray100 = binary_to_gray(n100 == 5 ? 7 : n100);
+
+  std::uint16_t ac12 = 0;
+  auto set = [&](unsigned index, std::uint32_t value) {
+    if (value) ac12 |= static_cast<std::uint16_t>(1u << index);
+  };
+  set(kD2, (gray500 >> 7) & 1u);
+  set(kD4, (gray500 >> 6) & 1u);
+  set(kA1, (gray500 >> 5) & 1u);
+  set(kA2, (gray500 >> 4) & 1u);
+  set(kA4, (gray500 >> 3) & 1u);
+  set(kB1, (gray500 >> 2) & 1u);
+  set(kB2, (gray500 >> 1) & 1u);
+  set(kB4, gray500 & 1u);
+  set(kC1, (gray100 >> 2) & 1u);
+  set(kC2, (gray100 >> 1) & 1u);
+  set(kC4, gray100 & 1u);
+  // Q (bit 4) deliberately left 0.
+  return ac12;
+}
+
+}  // namespace speccal::adsb

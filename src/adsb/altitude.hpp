@@ -1,0 +1,34 @@
+// Barometric altitude coding for airborne position messages (AC12 field).
+//
+// Two encodings share the field, selected by the Q bit:
+//   Q = 1 — 25 ft increments offset by -1000 ft (all modern traffic below
+//           50,175 ft; what the simulator transmits).
+//   Q = 0 — the legacy Gillham / Mode C code: a Gray-coded 500 ft ladder
+//           (D2 D4 A1 A2 A4 B1 B2 B4) with a reflected 100 ft sub-code
+//           (C1 C2 C4). Decoded for completeness so captures of older
+//           transponders parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace speccal::adsb {
+
+/// Encode altitude [ft] into the 12-bit AC field (Q = 1, 25 ft LSB).
+/// Altitudes are clamped to the encodable range [-1000, 50175] ft.
+[[nodiscard]] std::uint16_t encode_altitude_ft(double altitude_ft) noexcept;
+
+/// Decode a 12-bit AC field (either Q encoding). Returns nullopt for
+/// AC = 0 (no altitude available) or an invalid Gillham pattern.
+[[nodiscard]] std::optional<double> decode_altitude_ft(std::uint16_t ac12) noexcept;
+
+/// Encode altitude [ft] as a Q = 0 Gillham AC12 field (100 ft resolution,
+/// -1000..126,700 ft in the 500 ft ladder; used for codec tests and legacy
+/// transponder simulation).
+[[nodiscard]] std::uint16_t encode_altitude_gillham_ft(double altitude_ft) noexcept;
+
+/// Feet <-> metres helpers (ADS-B is feet-native; geodesy is metres).
+[[nodiscard]] constexpr double feet_to_m(double ft) noexcept { return ft * 0.3048; }
+[[nodiscard]] constexpr double m_to_feet(double m) noexcept { return m / 0.3048; }
+
+}  // namespace speccal::adsb

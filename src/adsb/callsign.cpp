@@ -1,0 +1,36 @@
+#include "adsb/callsign.hpp"
+
+namespace speccal::adsb {
+
+namespace {
+constexpr std::string_view kCharset =
+    "#ABCDEFGHIJKLMNOPQRSTUVWXYZ##### ###############0123456789######";
+}  // namespace
+
+std::array<std::uint8_t, 8> encode_callsign(std::string_view callsign) noexcept {
+  std::array<std::uint8_t, 8> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    char c = i < callsign.size() ? callsign[i] : ' ';
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    std::uint8_t code = 32;  // space
+    if (c >= 'A' && c <= 'Z')
+      code = static_cast<std::uint8_t>(c - 'A' + 1);
+    else if (c >= '0' && c <= '9')
+      code = static_cast<std::uint8_t>(c - '0' + 48);
+    else if (c == ' ')
+      code = 32;
+    out[i] = code;
+  }
+  return out;
+}
+
+std::string decode_callsign(const std::array<std::uint8_t, 8>& codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (std::uint8_t code : codes) out.push_back(kCharset[code & 0x3F]);
+  // Trim trailing spaces.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace speccal::adsb

@@ -1,0 +1,18 @@
+// Aircraft identification (callsign) 6-bit character coding, ICAO Annex 10.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace speccal::adsb {
+
+/// Encode up to 8 characters (A-Z, 0-9, space) into eight 6-bit codes.
+/// Unsupported characters map to space; short callsigns are space-padded.
+[[nodiscard]] std::array<std::uint8_t, 8> encode_callsign(std::string_view callsign) noexcept;
+
+/// Decode eight 6-bit codes to a trimmed string ('#' for invalid codes).
+[[nodiscard]] std::string decode_callsign(const std::array<std::uint8_t, 8>& codes);
+
+}  // namespace speccal::adsb

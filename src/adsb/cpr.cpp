@@ -1,0 +1,127 @@
+#include "adsb/cpr.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace speccal::adsb {
+
+namespace {
+
+/// floor-based positive modulo used throughout CPR.
+[[nodiscard]] double mod_pos(double a, double b) noexcept {
+  return a - b * std::floor(a / b);
+}
+
+[[nodiscard]] double dlat(bool odd) noexcept {
+  return 360.0 / (4.0 * kNz - (odd ? 1.0 : 0.0));
+}
+
+[[nodiscard]] double dlat_surface(bool odd) noexcept {
+  return 90.0 / (4.0 * kNz - (odd ? 1.0 : 0.0));
+}
+
+/// Shared encode kernel parameterized by the latitude zone size and the
+/// longitude circle span (360 airborne, 90 surface).
+[[nodiscard]] CprEncoded encode_impl(double lat_deg, double lon_deg, bool odd,
+                                     double d_lat, double lon_span) noexcept {
+  const auto yz = static_cast<std::int64_t>(
+      std::floor(kCprScale * mod_pos(lat_deg, d_lat) / d_lat + 0.5));
+  const double rlat =
+      d_lat * (static_cast<double>(yz) / kCprScale + std::floor(lat_deg / d_lat));
+  const int nl = cpr_nl(rlat);
+  const double d_lon = lon_span / std::max(nl - (odd ? 1 : 0), 1);
+  const auto xz = static_cast<std::int64_t>(
+      std::floor(kCprScale * mod_pos(lon_deg, d_lon) / d_lon + 0.5));
+  CprEncoded out;
+  out.lat = static_cast<std::uint32_t>(mod_pos(static_cast<double>(yz), kCprScale));
+  out.lon = static_cast<std::uint32_t>(mod_pos(static_cast<double>(xz), kCprScale));
+  out.odd = odd;
+  return out;
+}
+
+/// Shared local-decode kernel.
+[[nodiscard]] CprDecoded local_decode_impl(const CprEncoded& msg, double ref_lat_deg,
+                                           double ref_lon_deg, double d_lat,
+                                           double lon_span) noexcept {
+  const double lat_frac = static_cast<double>(msg.lat) / kCprScale;
+  const double j = std::floor(ref_lat_deg / d_lat) +
+                   std::floor(0.5 + mod_pos(ref_lat_deg, d_lat) / d_lat - lat_frac);
+  const double rlat = d_lat * (j + lat_frac);
+  const int nl = cpr_nl(rlat);
+  const double d_lon = lon_span / std::max(nl - (msg.odd ? 1 : 0), 1);
+  const double lon_frac = static_cast<double>(msg.lon) / kCprScale;
+  const double m = std::floor(ref_lon_deg / d_lon) +
+                   std::floor(0.5 + mod_pos(ref_lon_deg, d_lon) / d_lon - lon_frac);
+  return CprDecoded{rlat, d_lon * (m + lon_frac)};
+}
+
+}  // namespace
+
+int cpr_nl(double lat_deg) noexcept {
+  // ICAO Doc 9871 closed form. Degenerate latitudes use the limits.
+  const double abs_lat = std::fabs(lat_deg);
+  if (abs_lat >= 87.0) return abs_lat > 87.0 ? 1 : 2;
+  if (abs_lat < 1e-9) return 59;
+  const double pi = std::numbers::pi;
+  const double a = 1.0 - std::cos(pi / (2.0 * kNz));
+  const double c = std::cos(pi / 180.0 * abs_lat);
+  const double arg = 1.0 - a / (c * c);
+  if (arg <= -1.0) return 1;
+  return static_cast<int>(std::floor(2.0 * pi / std::acos(arg)));
+}
+
+CprEncoded cpr_encode(double lat_deg, double lon_deg, bool odd) noexcept {
+  return encode_impl(lat_deg, lon_deg, odd, dlat(odd), 360.0);
+}
+
+std::optional<CprDecoded> cpr_global_decode(const CprEncoded& even, const CprEncoded& odd,
+                                            bool most_recent_odd) noexcept {
+  const double lat_even = static_cast<double>(even.lat) / kCprScale;
+  const double lat_odd = static_cast<double>(odd.lat) / kCprScale;
+
+  // Latitude zone index.
+  const double j = std::floor(59.0 * lat_even - 60.0 * lat_odd + 0.5);
+
+  double rlat_even = dlat(false) * (mod_pos(j, 60.0) + lat_even);
+  double rlat_odd = dlat(true) * (mod_pos(j, 59.0) + lat_odd);
+  if (rlat_even >= 270.0) rlat_even -= 360.0;
+  if (rlat_odd >= 270.0) rlat_odd -= 360.0;
+
+  // Both must land in the same longitude-zone band or the pair is stale.
+  if (cpr_nl(rlat_even) != cpr_nl(rlat_odd)) return std::nullopt;
+  if (rlat_even < -90.0 || rlat_even > 90.0) return std::nullopt;
+
+  const double rlat = most_recent_odd ? rlat_odd : rlat_even;
+  const int nl = cpr_nl(rlat);
+
+  const double lon_even = static_cast<double>(even.lon) / kCprScale;
+  const double lon_odd = static_cast<double>(odd.lon) / kCprScale;
+
+  const double m =
+      std::floor(lon_even * (nl - 1) - lon_odd * nl + 0.5);  // longitude index
+  const int ni = std::max(nl - (most_recent_odd ? 1 : 0), 1);
+  const double d_lon = 360.0 / ni;
+  const double lon_recent = most_recent_odd ? lon_odd : lon_even;
+
+  double lon = d_lon * (mod_pos(m, static_cast<double>(ni)) + lon_recent);
+  if (lon >= 180.0) lon -= 360.0;
+
+  return CprDecoded{rlat, lon};
+}
+
+CprDecoded cpr_local_decode(const CprEncoded& msg, double ref_lat_deg,
+                            double ref_lon_deg) noexcept {
+  return local_decode_impl(msg, ref_lat_deg, ref_lon_deg, dlat(msg.odd), 360.0);
+}
+
+CprEncoded cpr_surface_encode(double lat_deg, double lon_deg, bool odd) noexcept {
+  return encode_impl(lat_deg, lon_deg, odd, dlat_surface(odd), 90.0);
+}
+
+CprDecoded cpr_surface_local_decode(const CprEncoded& msg, double ref_lat_deg,
+                                    double ref_lon_deg) noexcept {
+  return local_decode_impl(msg, ref_lat_deg, ref_lon_deg, dlat_surface(msg.odd),
+                           90.0);
+}
+
+}  // namespace speccal::adsb

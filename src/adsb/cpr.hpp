@@ -1,0 +1,64 @@
+// Compact Position Reporting (CPR) — the ADS-B position encoding.
+//
+// Airborne positions are broadcast as 17-bit latitude/longitude fractions
+// in alternating "even" and "odd" zone grids (NZ = 15). A receiver needs
+// one message of each parity (within ~10 s) to solve the global position
+// unambiguously, or one message plus a reference within 180 NM for local
+// decoding. Implemented per RTCA DO-260B / ICAO Doc 9871.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace speccal::adsb {
+
+/// Number of latitude zones per hemisphere pair (airborne).
+inline constexpr int kNz = 15;
+inline constexpr double kCprScale = 131072.0;  // 2^17
+
+/// Raw 17-bit encoded CPR pair.
+struct CprEncoded {
+  std::uint32_t lat = 0;  // YZ
+  std::uint32_t lon = 0;  // XZ
+  bool odd = false;       // CPR format flag (F)
+};
+
+/// Encode a position in the given parity grid.
+[[nodiscard]] CprEncoded cpr_encode(double lat_deg, double lon_deg, bool odd) noexcept;
+
+/// Number of longitude zones at latitude `lat_deg` (the "NL" function).
+[[nodiscard]] int cpr_nl(double lat_deg) noexcept;
+
+struct CprDecoded {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Global decode from an even/odd pair. `most_recent_odd` selects which
+/// message's zones fix the final position (use the newer one). Returns
+/// nullopt when the pair straddles an NL boundary (positions inconsistent).
+[[nodiscard]] std::optional<CprDecoded> cpr_global_decode(const CprEncoded& even,
+                                                          const CprEncoded& odd,
+                                                          bool most_recent_odd) noexcept;
+
+/// Local decode relative to a reference position within one zone
+/// (~180 NM for airborne).
+[[nodiscard]] CprDecoded cpr_local_decode(const CprEncoded& msg, double ref_lat_deg,
+                                          double ref_lon_deg) noexcept;
+
+// --- Surface CPR (TC 5-8) --------------------------------------------------
+// Surface positions use quarter-size zones (dlat = 90/60 or 90/59): four
+// times the resolution, at the cost of a 90-degree ambiguity that only a
+// receiver-side reference position can resolve — which is why surface
+// decoding is always local.
+
+/// Encode a surface position in the given parity grid.
+[[nodiscard]] CprEncoded cpr_surface_encode(double lat_deg, double lon_deg,
+                                            bool odd) noexcept;
+
+/// Local surface decode relative to a reference within ~45 NM.
+[[nodiscard]] CprDecoded cpr_surface_local_decode(const CprEncoded& msg,
+                                                  double ref_lat_deg,
+                                                  double ref_lon_deg) noexcept;
+
+}  // namespace speccal::adsb

@@ -1,0 +1,107 @@
+#include "adsb/crc.hpp"
+
+#include <array>
+
+namespace speccal::adsb {
+
+namespace {
+
+/// Mode S generator polynomial (25 bits, MSB implicit): x^24 + ... + 1.
+constexpr std::uint32_t kPoly = 0xFFF409;
+
+/// Byte-at-a-time CRC table.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t crc = byte << 16;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc <<= 1;
+      if (crc & 0x1000000) crc ^= kPoly;
+    }
+    table[byte] = crc & 0xFFFFFF;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+/// Syndrome produced by flipping a single bit of an n-byte frame.
+std::uint32_t single_bit_syndrome(std::size_t frame_bytes, int bit_index) {
+  std::vector<std::uint8_t> err(frame_bytes, 0);
+  err[static_cast<std::size_t>(bit_index) / 8] =
+      static_cast<std::uint8_t>(0x80u >> (bit_index % 8));
+  return crc24(err);
+}
+
+/// Cached single-bit syndrome table for long frames.
+const std::vector<std::uint32_t>& long_frame_syndromes() {
+  static const std::vector<std::uint32_t> table = [] {
+    std::vector<std::uint32_t> t(kLongFrameBytes * 8);
+    for (int i = 0; i < static_cast<int>(t.size()); ++i)
+      t[static_cast<std::size_t>(i)] = single_bit_syndrome(kLongFrameBytes, i);
+    return t;
+  }();
+  return table;
+}
+
+void flip_bit(std::span<std::uint8_t> frame, int bit_index) noexcept {
+  frame[static_cast<std::size_t>(bit_index) / 8] ^=
+      static_cast<std::uint8_t>(0x80u >> (bit_index % 8));
+}
+
+}  // namespace
+
+std::uint32_t crc24(std::span<const std::uint8_t> frame) noexcept {
+  std::uint32_t crc = 0;
+  for (std::uint8_t byte : frame)
+    crc = ((crc << 8) & 0xFFFFFF) ^ kTable[((crc >> 16) ^ byte) & 0xFF];
+  return crc;
+}
+
+void attach_crc(std::span<std::uint8_t> frame) noexcept {
+  const std::size_t n = frame.size();
+  // Parity is the CRC remainder over the message body (first n-3 bytes);
+  // appending it makes the full-frame remainder zero.
+  const std::uint32_t parity = crc24(frame.first(n - 3));
+  frame[n - 3] = static_cast<std::uint8_t>(parity >> 16);
+  frame[n - 2] = static_cast<std::uint8_t>(parity >> 8);
+  frame[n - 1] = static_cast<std::uint8_t>(parity);
+}
+
+bool check_crc(std::span<const std::uint8_t> frame) noexcept {
+  return crc24(frame) == 0;
+}
+
+std::optional<std::vector<int>> repair_frame(std::span<std::uint8_t> frame,
+                                             int max_bits) noexcept {
+  if (frame.size() != kLongFrameBytes || max_bits <= 0) return std::nullopt;
+  const std::uint32_t syndrome = crc24(frame);
+  if (syndrome == 0) return std::vector<int>{};
+
+  const auto& table = long_frame_syndromes();
+  const int nbits = static_cast<int>(table.size());
+
+  // Single-bit repair.
+  for (int i = 0; i < nbits; ++i) {
+    if (table[static_cast<std::size_t>(i)] == syndrome) {
+      flip_bit(frame, i);
+      return std::vector<int>{i};
+    }
+  }
+  if (max_bits < 2) return std::nullopt;
+
+  // Two-bit repair: syndrome must be the XOR of two single-bit syndromes.
+  for (int i = 0; i < nbits; ++i) {
+    const std::uint32_t remainder = syndrome ^ table[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < nbits; ++j) {
+      if (table[static_cast<std::size_t>(j)] == remainder) {
+        flip_bit(frame, i);
+        flip_bit(frame, j);
+        return std::vector<int>{i, j};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace speccal::adsb

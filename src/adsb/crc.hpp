@@ -1,0 +1,40 @@
+// Mode S CRC-24 parity (ICAO Annex 10 / RTCA DO-260).
+//
+// Every Mode S frame carries a 24-bit parity field computed with the
+// generator polynomial 0x1FFF409. For DF17 extended squitter the parity is
+// transmitted as-is (PI field, no address overlay), so a receiver validates
+// a frame by recomputing the CRC over the first N-24 bits and comparing.
+// dump1090 additionally *repairs* frames with 1-2 bit errors by matching
+// the error syndrome; we implement the same (ablatable) mechanism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace speccal::adsb {
+
+/// Frame lengths in bytes.
+inline constexpr std::size_t kShortFrameBytes = 7;   // 56-bit squitter
+inline constexpr std::size_t kLongFrameBytes = 14;   // 112-bit extended squitter
+
+/// CRC-24 remainder of `bits` bytes interpreted MSB-first. For checking a
+/// received frame, pass the entire frame: a valid frame has remainder 0.
+[[nodiscard]] std::uint32_t crc24(std::span<const std::uint8_t> frame) noexcept;
+
+/// Compute the parity over the message body and write it into the last
+/// three bytes of `frame` (frame must be 7 or 14 bytes).
+void attach_crc(std::span<std::uint8_t> frame) noexcept;
+
+/// True if the frame's parity is consistent (syndrome zero).
+[[nodiscard]] bool check_crc(std::span<const std::uint8_t> frame) noexcept;
+
+/// Attempt to repair up to `max_bits` flipped bits (1 or 2) in a long frame
+/// by syndrome matching. Returns the indices of repaired bits, or
+/// std::nullopt if no correction with <= max_bits flips produces a zero
+/// syndrome. Mutates `frame` on success.
+[[nodiscard]] std::optional<std::vector<int>> repair_frame(
+    std::span<std::uint8_t> frame, int max_bits) noexcept;
+
+}  // namespace speccal::adsb

@@ -1,0 +1,284 @@
+#include "adsb/frame.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "adsb/altitude.hpp"
+#include "adsb/callsign.hpp"
+#include "adsb/crc.hpp"
+#include "util/units.hpp"
+
+namespace speccal::adsb {
+
+namespace {
+
+/// MSB-first bit writer over a byte array.
+class BitWriter {
+ public:
+  explicit BitWriter(std::span<std::uint8_t> bytes) : bytes_(bytes) {}
+
+  void put(std::uint32_t value, int bits) noexcept {
+    for (int b = bits - 1; b >= 0; --b) {
+      const bool set = (value >> b) & 1u;
+      if (set)
+        bytes_[static_cast<std::size_t>(pos_) / 8] |=
+            static_cast<std::uint8_t>(0x80u >> (pos_ % 8));
+      ++pos_;
+    }
+  }
+
+ private:
+  std::span<std::uint8_t> bytes_;
+  int pos_ = 0;
+};
+
+/// MSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint32_t get(int bits) noexcept {
+    std::uint32_t v = 0;
+    for (int b = 0; b < bits; ++b) {
+      const std::uint8_t byte = bytes_[static_cast<std::size_t>(pos_) / 8];
+      v = (v << 1) | ((byte >> (7 - pos_ % 8)) & 1u);
+      ++pos_;
+    }
+    return v;
+  }
+
+  void skip(int bits) noexcept { pos_ += bits; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  int pos_ = 0;
+};
+
+constexpr std::uint8_t kDf17 = 17;
+constexpr std::uint8_t kCapability = 5;  // airborne-capable transponder
+
+RawFrame start_frame(std::uint32_t icao) noexcept {
+  RawFrame raw{};
+  BitWriter w(raw);
+  w.put(kDf17, 5);
+  w.put(kCapability, 3);
+  w.put(icao & 0xFFFFFF, 24);
+  return raw;
+}
+
+}  // namespace
+
+RawFrame build_position_frame(std::uint32_t icao, double lat_deg, double lon_deg,
+                              double altitude_ft, bool odd) noexcept {
+  RawFrame raw = start_frame(icao);
+  const CprEncoded cpr = cpr_encode(lat_deg, lon_deg, odd);
+  BitWriter me(std::span<std::uint8_t>(raw).subspan(4));  // ME starts at byte 4 (bit 32)
+  me.put(11, 5);                             // TC 11: airborne position, baro
+  me.put(0, 2);                              // surveillance status
+  me.put(0, 1);                              // NIC supplement-B
+  me.put(encode_altitude_ft(altitude_ft), 12);
+  me.put(0, 1);                              // time sync flag
+  me.put(odd ? 1 : 0, 1);                    // CPR format
+  me.put(cpr.lat, 17);
+  me.put(cpr.lon, 17);
+  attach_crc(raw);
+  return raw;
+}
+
+RawFrame build_velocity_frame(std::uint32_t icao, double ground_speed_kt,
+                              double track_deg, double vertical_rate_fpm) noexcept {
+  RawFrame raw = start_frame(icao);
+
+  // Decompose ground speed into east/north components.
+  const double track_rad = util::deg_to_rad(track_deg);
+  const double v_east = ground_speed_kt * std::sin(track_rad);
+  const double v_north = ground_speed_kt * std::cos(track_rad);
+  const bool west = v_east < 0.0;
+  const bool south = v_north < 0.0;
+  const auto ew = static_cast<std::uint32_t>(
+      std::min(1022.0, std::round(std::fabs(v_east))) + 1);
+  const auto ns = static_cast<std::uint32_t>(
+      std::min(1022.0, std::round(std::fabs(v_north))) + 1);
+
+  const bool descending = vertical_rate_fpm < 0.0;
+  const auto vr = static_cast<std::uint32_t>(
+      std::min(510.0, std::round(std::fabs(vertical_rate_fpm) / 64.0)) + 1);
+
+  BitWriter me(std::span<std::uint8_t>(raw).subspan(4));
+  me.put(19, 5);  // TC 19: airborne velocity
+  me.put(1, 3);   // subtype 1: ground speed
+  me.put(0, 1);   // intent change
+  me.put(0, 1);   // IFR capability
+  me.put(0, 3);   // NACv
+  me.put(west ? 1 : 0, 1);
+  me.put(ew, 10);
+  me.put(south ? 1 : 0, 1);
+  me.put(ns, 10);
+  me.put(1, 1);   // vertical rate source: barometric
+  me.put(descending ? 1 : 0, 1);
+  me.put(vr, 9);
+  me.put(0, 2);   // reserved
+  me.put(0, 1);   // GNSS/baro diff sign
+  me.put(0, 7);   // GNSS/baro diff (n/a)
+  attach_crc(raw);
+  return raw;
+}
+
+RawFrame build_ident_frame(std::uint32_t icao, std::string_view callsign) noexcept {
+  RawFrame raw = start_frame(icao);
+  const auto codes = encode_callsign(callsign);
+  BitWriter me(std::span<std::uint8_t>(raw).subspan(4));
+  me.put(4, 5);  // TC 4: identification, category set A
+  me.put(3, 3);  // category A3 (large aircraft)
+  for (std::uint8_t code : codes) me.put(code, 6);
+  attach_crc(raw);
+  return raw;
+}
+
+RawFrame build_surface_frame(std::uint32_t icao, double lat_deg, double lon_deg,
+                             double ground_speed_kt, double track_deg,
+                             bool odd) noexcept {
+  RawFrame raw = start_frame(icao);
+  const CprEncoded cpr = cpr_surface_encode(lat_deg, lon_deg, odd);
+  BitWriter me(std::span<std::uint8_t>(raw).subspan(4));
+  me.put(7, 5);                                     // TC 7: surface position
+  me.put(encode_movement_kt(ground_speed_kt), 7);   // movement
+  me.put(1, 1);                                     // track status: valid
+  // Track in 360/128-degree steps.
+  me.put(static_cast<std::uint32_t>(
+             std::lround(util::wrap_degrees(track_deg) / 360.0 * 128.0)) & 0x7F,
+         7);
+  me.put(0, 1);                                     // time
+  me.put(odd ? 1 : 0, 1);                           // CPR format
+  me.put(cpr.lat, 17);
+  me.put(cpr.lon, 17);
+  attach_crc(raw);
+  return raw;
+}
+
+std::optional<Frame> parse_frame(const RawFrame& raw) noexcept {
+  BitReader r(raw);
+  const auto df = static_cast<std::uint8_t>(r.get(5));
+  if (df != kDf17) return std::nullopt;
+
+  Frame out;
+  out.capability = static_cast<std::uint8_t>(r.get(3));
+  out.icao = r.get(24);
+  out.type_code = static_cast<std::uint8_t>(r.get(5));
+
+  if (out.type_code >= 1 && out.type_code <= 4) {
+    IdentPayload ident;
+    ident.category = static_cast<std::uint8_t>(r.get(3));
+    std::array<std::uint8_t, 8> codes{};
+    for (auto& code : codes) code = static_cast<std::uint8_t>(r.get(6));
+    ident.callsign = decode_callsign(codes);
+    out.payload = std::move(ident);
+  } else if (out.type_code >= 5 && out.type_code <= 8) {
+    SurfacePayload surf;
+    surf.ground_speed_kt =
+        decode_movement_kt(static_cast<std::uint8_t>(r.get(7)));
+    const bool track_valid = r.get(1) != 0;
+    const std::uint32_t track_raw = r.get(7);
+    if (track_valid)
+      surf.track_deg = static_cast<double>(track_raw) * 360.0 / 128.0;
+    r.skip(1);  // time
+    surf.cpr.odd = r.get(1) != 0;
+    surf.cpr.lat = r.get(17);
+    surf.cpr.lon = r.get(17);
+    out.payload = surf;
+  } else if (out.type_code >= 9 && out.type_code <= 18) {
+    PositionPayload pos;
+    r.skip(2);  // surveillance status
+    r.skip(1);  // NIC-B
+    pos.ac12 = static_cast<std::uint16_t>(r.get(12));
+    r.skip(1);  // time
+    pos.cpr.odd = r.get(1) != 0;
+    pos.cpr.lat = r.get(17);
+    pos.cpr.lon = r.get(17);
+    out.payload = pos;
+  } else if (out.type_code == 19) {
+    const std::uint32_t subtype = r.get(3);
+    if (subtype == 1 || subtype == 2) {
+      VelocityPayload vel;
+      r.skip(5);  // intent, IFR, NACv
+      const bool west = r.get(1) != 0;
+      const std::uint32_t ew = r.get(10);
+      const bool south = r.get(1) != 0;
+      const std::uint32_t ns = r.get(10);
+      r.skip(1);  // vrate source
+      const bool descending = r.get(1) != 0;
+      const std::uint32_t vr = r.get(9);
+
+      if (ew != 0 && ns != 0) {
+        double v_east = static_cast<double>(ew - 1);
+        double v_north = static_cast<double>(ns - 1);
+        if (subtype == 2) {  // supersonic: 4 kt LSB
+          v_east *= 4.0;
+          v_north *= 4.0;
+        }
+        if (west) v_east = -v_east;
+        if (south) v_north = -v_north;
+        vel.ground_speed_kt = std::hypot(v_east, v_north);
+        vel.track_deg = util::wrap_degrees(util::rad_to_deg(std::atan2(v_east, v_north)));
+      }
+      if (vr != 0) {
+        vel.vertical_rate_fpm = static_cast<double>(vr - 1) * 64.0;
+        if (descending) vel.vertical_rate_fpm = -vel.vertical_rate_fpm;
+      }
+      out.payload = vel;
+    }
+  }
+  return out;
+}
+
+ShortFrame build_all_call(std::uint32_t icao, std::uint8_t capability) noexcept {
+  ShortFrame raw{};
+  BitWriter w(raw);
+  w.put(11, 5);  // DF11
+  w.put(capability, 3);
+  w.put(icao & 0xFFFFFF, 24);
+  attach_crc(raw);  // interrogator code 0: PI is the plain parity
+  return raw;
+}
+
+std::optional<AllCall> parse_all_call(const ShortFrame& raw) noexcept {
+  BitReader r(raw);
+  if (r.get(5) != 11) return std::nullopt;
+  AllCall out;
+  out.capability = static_cast<std::uint8_t>(r.get(3));
+  out.icao = r.get(24);
+  return out;
+}
+
+std::uint8_t encode_movement_kt(double speed_kt) noexcept {
+  // DO-260 Table 2-25 nonlinear ground-speed quantization.
+  if (speed_kt < 0.0) return 0;                      // no information
+  if (speed_kt < 0.125) return 1;                    // stopped
+  if (speed_kt < 1.0)
+    return static_cast<std::uint8_t>(2 + std::lround((speed_kt - 0.125) / 0.125));
+  if (speed_kt < 2.0)
+    return static_cast<std::uint8_t>(9 + std::lround((speed_kt - 1.0) / 0.25));
+  if (speed_kt < 15.0)
+    return static_cast<std::uint8_t>(13 + std::lround((speed_kt - 2.0) / 0.5));
+  if (speed_kt < 70.0)
+    return static_cast<std::uint8_t>(39 + std::lround(speed_kt - 15.0));
+  if (speed_kt < 100.0)
+    return static_cast<std::uint8_t>(94 + std::lround((speed_kt - 70.0) / 2.0));
+  if (speed_kt < 175.0)
+    return static_cast<std::uint8_t>(109 + std::lround((speed_kt - 100.0) / 5.0));
+  return 124;                                        // >= 175 kt
+}
+
+std::optional<double> decode_movement_kt(std::uint8_t code) noexcept {
+  if (code == 0 || code > 124) return std::nullopt;  // no info / reserved
+  if (code == 1) return 0.0;
+  if (code <= 8) return 0.125 + (code - 2) * 0.125;
+  if (code <= 12) return 1.0 + (code - 9) * 0.25;
+  if (code <= 38) return 2.0 + (code - 13) * 0.5;
+  if (code <= 93) return 15.0 + (code - 39) * 1.0;
+  if (code <= 108) return 70.0 + (code - 94) * 2.0;
+  if (code <= 123) return 100.0 + (code - 109) * 5.0;
+  return 175.0;
+}
+
+}  // namespace speccal::adsb

@@ -1,0 +1,122 @@
+// DF17 (1090ES extended squitter) frame construction and parsing.
+//
+// Supported message classes (covering what the paper's methodology needs —
+// identity, position, velocity — and what dump1090 reports):
+//   TC 1-4   aircraft identification (callsign + emitter category)
+//   TC 9-18  airborne position (barometric altitude + CPR)
+//   TC 19/1  airborne velocity (ground speed decomposition)
+// Frames are 14 bytes; the last 3 carry the Mode S CRC (PI field).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "adsb/cpr.hpp"
+
+namespace speccal::adsb {
+
+using RawFrame = std::array<std::uint8_t, 14>;
+using ShortFrame = std::array<std::uint8_t, 7>;  // 56-bit Mode S frames
+
+/// Parsed airborne-position payload (TC 9-18).
+struct PositionPayload {
+  std::uint16_t ac12 = 0;  // altitude field (decode with decode_altitude_ft)
+  CprEncoded cpr;
+};
+
+/// Parsed airborne-velocity payload (TC 19 subtype 1).
+struct VelocityPayload {
+  double ground_speed_kt = 0.0;
+  double track_deg = 0.0;          // direction of motion, 0 = north
+  double vertical_rate_fpm = 0.0;  // positive = climbing
+};
+
+/// Parsed identification payload (TC 1-4).
+struct IdentPayload {
+  std::string callsign;
+  std::uint8_t category = 0;
+};
+
+/// Parsed surface-position payload (TC 5-8). Positions use surface CPR and
+/// must be decoded against a receiver reference (cpr_surface_local_decode).
+struct SurfacePayload {
+  std::optional<double> ground_speed_kt;  // from the movement field
+  std::optional<double> track_deg;        // nullopt when the status bit is 0
+  CprEncoded cpr;                         // surface grid
+};
+
+/// One decoded DF17 frame.
+struct Frame {
+  std::uint32_t icao = 0;
+  std::uint8_t capability = 0;
+  std::uint8_t type_code = 0;
+  std::variant<std::monostate, PositionPayload, VelocityPayload, IdentPayload,
+               SurfacePayload>
+      payload;
+
+  [[nodiscard]] bool has_position() const noexcept {
+    return std::holds_alternative<PositionPayload>(payload);
+  }
+  [[nodiscard]] bool has_velocity() const noexcept {
+    return std::holds_alternative<VelocityPayload>(payload);
+  }
+  [[nodiscard]] bool has_ident() const noexcept {
+    return std::holds_alternative<IdentPayload>(payload);
+  }
+  [[nodiscard]] bool has_surface() const noexcept {
+    return std::holds_alternative<SurfacePayload>(payload);
+  }
+};
+
+/// Build an airborne position frame (TC 11: baro altitude, NUCp per TC).
+[[nodiscard]] RawFrame build_position_frame(std::uint32_t icao, double lat_deg,
+                                            double lon_deg, double altitude_ft,
+                                            bool odd) noexcept;
+
+/// Build an airborne velocity frame (TC 19 subtype 1).
+[[nodiscard]] RawFrame build_velocity_frame(std::uint32_t icao, double ground_speed_kt,
+                                            double track_deg,
+                                            double vertical_rate_fpm) noexcept;
+
+/// Build an identification frame (TC 4, category A3 "large").
+[[nodiscard]] RawFrame build_ident_frame(std::uint32_t icao,
+                                         std::string_view callsign) noexcept;
+
+/// Build a surface position frame (TC 7).
+[[nodiscard]] RawFrame build_surface_frame(std::uint32_t icao, double lat_deg,
+                                           double lon_deg, double ground_speed_kt,
+                                           double track_deg, bool odd) noexcept;
+
+/// Parse a CRC-valid DF17 frame. Returns nullopt for non-DF17 frames or
+/// unsupported type codes (payload left monostate is used for supported DF17
+/// frames whose TC we do not interpret).
+[[nodiscard]] std::optional<Frame> parse_frame(const RawFrame& raw) noexcept;
+
+// --- DF11 all-call / acquisition squitter (56-bit) ---------------------------
+
+/// Build an acquisition squitter (DF11, interrogator code 0 so the PI field
+/// is the plain CRC).
+[[nodiscard]] ShortFrame build_all_call(std::uint32_t icao,
+                                        std::uint8_t capability = 5) noexcept;
+
+struct AllCall {
+  std::uint32_t icao = 0;
+  std::uint8_t capability = 0;
+};
+
+/// Parse a CRC-valid DF11 frame; nullopt for other downlink formats.
+[[nodiscard]] std::optional<AllCall> parse_all_call(const ShortFrame& raw) noexcept;
+
+// --- Surface movement field (DO-260 nonlinear speed code) --------------------
+
+/// Encode ground speed [kt] into the 7-bit movement field (1..124;
+/// 0 = no information).
+[[nodiscard]] std::uint8_t encode_movement_kt(double speed_kt) noexcept;
+
+/// Decode the movement field; nullopt for "no information" / reserved.
+[[nodiscard]] std::optional<double> decode_movement_kt(std::uint8_t code) noexcept;
+
+}  // namespace speccal::adsb

@@ -1,0 +1,130 @@
+#include "adsb/io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "adsb/altitude.hpp"
+
+namespace speccal::adsb {
+
+namespace {
+
+constexpr char kHex[] = "0123456789ABCDEF";
+
+template <std::size_t N>
+[[nodiscard]] std::string bytes_to_avr(const std::array<std::uint8_t, N>& bytes) {
+  std::string out;
+  out.reserve(2 + 2 * N);
+  out.push_back('*');
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0F]);
+  }
+  out.push_back(';');
+  return out;
+}
+
+[[nodiscard]] int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_avr(const RawFrame& frame) { return bytes_to_avr(frame); }
+std::string to_avr(const ShortFrame& frame) { return bytes_to_avr(frame); }
+
+std::optional<std::variant<ShortFrame, RawFrame>> from_avr(std::string_view line) {
+  // Trim whitespace / CRLF.
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+    line.remove_prefix(1);
+  while (!line.empty() &&
+         (line.back() == ' ' || line.back() == '\r' || line.back() == '\n'))
+    line.remove_suffix(1);
+
+  if (line.size() < 4 || line.front() != '*' || line.back() != ';')
+    return std::nullopt;
+  const std::string_view hex = line.substr(1, line.size() - 2);
+  if (hex.size() != 14 && hex.size() != 28) return std::nullopt;
+
+  std::array<std::uint8_t, 14> bytes{};
+  for (std::size_t i = 0; i < hex.size() / 2; ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  if (hex.size() == 14) {
+    ShortFrame out{};
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = bytes[i];
+    return out;
+  }
+  RawFrame out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = bytes[i];
+  return out;
+}
+
+std::string to_sbs(const Frame& frame, const AircraftState* track,
+                   double timestamp_s) {
+  int msg_type = 8;
+  if (frame.has_ident()) msg_type = 1;
+  else if (frame.has_surface()) msg_type = 2;
+  else if (frame.has_position()) msg_type = 3;
+  else if (frame.has_velocity()) msg_type = 4;
+
+  char icao_hex[8];
+  std::snprintf(icao_hex, sizeof icao_hex, "%06X", frame.icao);
+
+  // Timestamp columns: SBS uses date,time twice (generated/logged); the
+  // simulation clock renders as seconds with millisecond precision.
+  char clock[32];
+  std::snprintf(clock, sizeof clock, "%.3f", timestamp_s);
+
+  std::ostringstream os;
+  os << "MSG," << msg_type << ",1,1," << icao_hex << ",1," << clock << ","
+     << clock << ",";
+
+  // Callsign.
+  if (frame.has_ident())
+    os << std::get<IdentPayload>(frame.payload).callsign;
+  else if (track != nullptr)
+    os << track->callsign;
+  os << ",";
+
+  // Altitude.
+  if (const auto* pos = std::get_if<PositionPayload>(&frame.payload)) {
+    if (const auto alt = decode_altitude_ft(pos->ac12))
+      os << static_cast<long>(std::lround(*alt));
+  }
+  os << ",";
+
+  // Ground speed / track.
+  if (const auto* vel = std::get_if<VelocityPayload>(&frame.payload)) {
+    os << std::lround(vel->ground_speed_kt) << "," << std::lround(vel->track_deg);
+  } else {
+    os << ",";
+  }
+  os << ",";
+
+  // Latitude / longitude (resolved track state).
+  if (track != nullptr && track->position) {
+    char lat[24], lon[24];
+    std::snprintf(lat, sizeof lat, "%.5f", track->position->lat_deg);
+    std::snprintf(lon, sizeof lon, "%.5f", track->position->lon_deg);
+    os << lat << "," << lon;
+  } else {
+    os << ",";
+  }
+  os << ",";
+
+  // Vertical rate.
+  if (const auto* vel = std::get_if<VelocityPayload>(&frame.payload))
+    os << std::lround(vel->vertical_rate_fpm);
+  os << ",,,,,";
+  return os.str();
+}
+
+}  // namespace speccal::adsb

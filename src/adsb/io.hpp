@@ -1,0 +1,39 @@
+// Interchange formats for decoded Mode S traffic.
+//
+// Real deployments pipe dump1090's output into aggregators; emitting the
+// same formats makes this decoder a drop-in source:
+//   * AVR    — "*8D4840D6...;" raw frames in hex (readable by dump1090,
+//              readsb, Wireshark).
+//   * SBS-1  — "MSG,3,..." BaseStation CSV consumed by practically every
+//              plane-tracking tool.
+// AVR parsing is also provided so recorded dumps can be replayed through
+// the tracker.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "adsb/decoder.hpp"
+#include "adsb/frame.hpp"
+
+namespace speccal::adsb {
+
+/// Raw frame in AVR format: '*' + uppercase hex + ';'.
+[[nodiscard]] std::string to_avr(const RawFrame& frame);
+[[nodiscard]] std::string to_avr(const ShortFrame& frame);
+
+/// Parse an AVR line (7- or 14-byte frames). Whitespace is trimmed;
+/// returns nullopt for malformed input or unexpected lengths.
+[[nodiscard]] std::optional<std::variant<ShortFrame, RawFrame>> from_avr(
+    std::string_view line);
+
+/// One decoded frame as an SBS-1 / BaseStation CSV line. The transmission
+/// type follows the usual mapping: ident -> MSG,1; airborne position ->
+/// MSG,3; velocity -> MSG,4; surface position -> MSG,2; anything else ->
+/// MSG,8. `track` supplies resolved position/callsign state when available.
+[[nodiscard]] std::string to_sbs(const Frame& frame, const AircraftState* track,
+                                 double timestamp_s);
+
+}  // namespace speccal::adsb

@@ -1,0 +1,169 @@
+#include "adsb/ppm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "adsb/crc.hpp"
+
+namespace speccal::adsb {
+
+namespace {
+/// Preamble pulse / quiet sample positions within the 16-sample preamble.
+constexpr std::array<std::size_t, 4> kPulseIdx = {0, 2, 7, 9};
+constexpr std::array<std::size_t, 6> kQuietIdx = {1, 3, 5, 11, 13, 15};
+
+[[nodiscard]] bool bit_of(std::span<const std::uint8_t> frame, std::size_t bit) noexcept {
+  return (frame[bit / 8] >> (7 - bit % 8)) & 1u;
+}
+
+[[nodiscard]] std::vector<float> envelope_impl(std::span<const std::uint8_t> bytes,
+                                               std::size_t bits) {
+  std::vector<float> env(kPreambleSamples + 2 * bits, 0.0f);
+  for (std::size_t p : kPulseIdx) env[p] = 1.0f;
+  for (std::size_t bit = 0; bit < bits; ++bit) {
+    const std::size_t base = kPreambleSamples + 2 * bit;
+    if (bit_of(bytes, bit))
+      env[base] = 1.0f;
+    else
+      env[base + 1] = 1.0f;
+  }
+  return env;
+}
+
+void modulate_env_signed(const std::vector<float>& env, double amplitude,
+                         double carrier_phase, double cfo_hz, std::ptrdiff_t offset,
+                         std::span<speccal::dsp::Sample> accum) noexcept {
+  const double phase_step = 2.0 * std::numbers::pi * cfo_hz / kPpmSampleRateHz;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const std::ptrdiff_t idx = offset + static_cast<std::ptrdiff_t>(i);
+    if (idx < 0) continue;
+    if (idx >= static_cast<std::ptrdiff_t>(accum.size())) break;
+    if (env[i] == 0.0f) continue;
+    const double phase = carrier_phase + phase_step * static_cast<double>(i);
+    accum[static_cast<std::size_t>(idx)] +=
+        speccal::dsp::Sample(static_cast<float>(amplitude * std::cos(phase)),
+                             static_cast<float>(amplitude * std::sin(phase)));
+  }
+}
+}  // namespace
+
+std::vector<float> ppm_envelope(const RawFrame& frame) {
+  return envelope_impl(frame, kLongFrameBits);
+}
+
+std::vector<float> ppm_envelope_short(const ShortFrame& frame) {
+  return envelope_impl(frame, kShortFrameBits);
+}
+
+void modulate_into(const RawFrame& frame, double amplitude, double carrier_phase,
+                   double cfo_hz, std::size_t offset,
+                   std::span<dsp::Sample> accum) noexcept {
+  modulate_into_signed(frame, amplitude, carrier_phase, cfo_hz,
+                       static_cast<std::ptrdiff_t>(offset), accum);
+}
+
+void modulate_into_signed(const RawFrame& frame, double amplitude, double carrier_phase,
+                          double cfo_hz, std::ptrdiff_t offset,
+                          std::span<dsp::Sample> accum) noexcept {
+  modulate_env_signed(ppm_envelope(frame), amplitude, carrier_phase, cfo_hz, offset,
+                      accum);
+}
+
+void modulate_short_into_signed(const ShortFrame& frame, double amplitude,
+                                double carrier_phase, double cfo_hz,
+                                std::ptrdiff_t offset,
+                                std::span<dsp::Sample> accum) noexcept {
+  modulate_env_signed(ppm_envelope_short(frame), amplitude, carrier_phase, cfo_hz,
+                      offset, accum);
+}
+
+std::vector<Detection> PpmDemodulator::process(std::span<const dsp::Sample> samples) const {
+  std::vector<Detection> out;
+  if (samples.size() < kFrameSamples) return out;
+
+  // Magnitude-squared stream (power); all decisions are power comparisons.
+  std::vector<float> mag(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) mag[i] = std::norm(samples[i]);
+
+  const std::size_t last_start = samples.size() - kFrameSamples;
+  for (std::size_t i = 0; i <= last_start; ++i) {
+    // --- Preamble gate -----------------------------------------------------
+    float pulse_sum = 0.0f;
+    float pulse_min = mag[i + kPulseIdx[0]];
+    for (std::size_t p : kPulseIdx) {
+      const float v = mag[i + p];
+      pulse_sum += v;
+      pulse_min = std::min(pulse_min, v);
+    }
+    float quiet_sum = 0.0f;
+    float quiet_max = 0.0f;
+    for (std::size_t q : kQuietIdx) {
+      const float v = mag[i + q];
+      quiet_sum += v;
+      quiet_max = std::max(quiet_max, v);
+    }
+    const float pulse_avg = pulse_sum / static_cast<float>(kPulseIdx.size());
+    const float quiet_avg = quiet_sum / static_cast<float>(kQuietIdx.size());
+    // Every pulse must rise above the loudest quiet sample, and the average
+    // pulse power must clear the configured ratio over the quiet floor.
+    if (pulse_min <= quiet_max) continue;
+    if (pulse_avg < static_cast<float>(config_.preamble_snr_ratio) *
+                        std::max(quiet_avg, 1e-12f))
+      continue;
+
+    // --- Bit slicing ---------------------------------------------------------
+    RawFrame frame{};
+    auto slice = [&](std::size_t bits) {
+      for (std::size_t bit = 0; bit < bits; ++bit) {
+        const std::size_t base = i + kPreambleSamples + 2 * bit;
+        if (mag[base] > mag[base + 1])
+          frame[bit / 8] |= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+      }
+    };
+    slice(5);  // downlink format decides the frame length
+    const std::uint8_t df = static_cast<std::uint8_t>(frame[0] >> 3);
+
+    std::size_t bits;
+    if (df == 11) {
+      bits = kShortFrameBits;
+    } else if (df >= 17 && df <= 19) {
+      bits = kLongFrameBits;
+    } else {
+      continue;  // other Mode S formats are not extended squitters
+    }
+    slice(bits);
+
+    int repaired = 0;
+    const std::span<std::uint8_t> frame_bytes(frame.data(), bits / 8);
+    if (!check_crc(frame_bytes)) {
+      // Syndrome repair is only attempted on long frames (short-frame
+      // syndromes are too ambiguous to repair safely; dump1090 agrees).
+      if (bits != kLongFrameBits || config_.max_crc_repair_bits <= 0) continue;
+      auto fixed = repair_frame(frame, config_.max_crc_repair_bits);
+      if (!fixed) continue;
+      repaired = static_cast<int>(fixed->size());
+    }
+
+    Detection det;
+    det.frame = frame;
+    det.bit_count = bits;
+    det.sample_index = i;
+    det.repaired_bits = repaired;
+    // RSSI: mean power over the pulse halves of all data bits.
+    double signal = 0.0;
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+      const std::size_t base = i + kPreambleSamples + 2 * bit;
+      signal += std::max(mag[base], mag[base + 1]);
+    }
+    signal /= static_cast<double>(bits);
+    det.rssi_dbfs = signal > 1e-20 ? 10.0 * std::log10(signal) : -200.0;
+    out.push_back(det);
+
+    i += kPreambleSamples + 2 * bits - 1;  // skip past this frame
+  }
+  return out;
+}
+
+}  // namespace speccal::adsb

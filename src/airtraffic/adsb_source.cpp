@@ -1,0 +1,78 @@
+#include "airtraffic/adsb_source.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "adsb/ppm.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace speccal::airtraffic {
+
+namespace {
+/// Deterministic per-event hash for carrier phase and fading keys.
+[[nodiscard]] std::uint64_t event_hash(const TransmissionEvent& ev) noexcept {
+  std::uint64_t s = static_cast<std::uint64_t>(ev.icao) ^
+                    (static_cast<std::uint64_t>(ev.time_s * 1e6) << 20);
+  return util::splitmix64(s);
+}
+}  // namespace
+
+void AdsbSignalSource::render(const sdr::CaptureContext& ctx,
+                              std::span<dsp::Sample> accum) {
+  // The 1090ES channel must fall inside the capture bandwidth.
+  if (std::fabs(ctx.center_freq_hz - adsb::kAdsbFreqHz) > ctx.sample_rate_hz / 2.0)
+    return;
+  // The PPM modulator is defined at 2 Msps (one sample per half-bit).
+  if (std::fabs(ctx.sample_rate_hz - adsb::kPpmSampleRateHz) > 1.0) return;
+
+  const double t0 = ctx.start_time_s;
+  const double t1 =
+      t0 + static_cast<double>(ctx.sample_count) / ctx.sample_rate_hz;
+  constexpr double kFrameDurationS =
+      static_cast<double>(adsb::kFrameSamples) / adsb::kPpmSampleRateHz;
+
+  prop::LinkParams params;  // free space (LOS air-to-ground)
+  params.model = prop::PathModel::kFreeSpace;
+
+  // Include events that began up to one frame before the window so their
+  // tails land in this buffer (the head was rendered into the previous one).
+  for (const auto& ev : sky_->events_between(t0 - kFrameDurationS, t1)) {
+    prop::LinkInput link;
+    link.transmitter = ev.tx_position;
+    link.receiver = ctx.rx->position;
+    link.freq_hz = adsb::kAdsbFreqHz;
+    link.tx_power_dbm = ev.tx_power_dbm;
+    link.emitter_id = ev.icao;
+    link.message_index = event_hash(ev);
+    if (ctx.rx->antenna != nullptr) {
+      const double az = geo::bearing_deg(ctx.rx->position, ev.tx_position);
+      link.rx_antenna_gain_dbi = ctx.rx->antenna->gain_dbi(adsb::kAdsbFreqHz, az);
+    }
+    const prop::LinkResult budget =
+        prop::evaluate_link(link, params, ctx.rx->obstructions, ctx.rx->fading);
+
+    // sqrt-milliwatt amplitude convention (see SimulatedSdr).
+    const double amplitude = util::db_to_amplitude(budget.rx_power_dbm);
+    if (amplitude < 1e-9) continue;  // < -180 dBm: unrepresentable, skip
+
+    const double phase =
+        2.0 * std::numbers::pi *
+        (static_cast<double>(event_hash(ev) & 0xFFFF) / 65536.0);
+    const double cfo = ev.cfo_hz + (adsb::kAdsbFreqHz - ctx.center_freq_hz);
+
+    const double offset_f = (ev.time_s - t0) * ctx.sample_rate_hz;
+    const auto offset = static_cast<std::ptrdiff_t>(std::floor(offset_f));
+    if (ev.bit_count == 56) {
+      adsb::ShortFrame short_frame{};
+      for (std::size_t i = 0; i < short_frame.size(); ++i)
+        short_frame[i] = ev.frame[i];
+      adsb::modulate_short_into_signed(short_frame, amplitude, phase, cfo, offset,
+                                       accum);
+    } else {
+      adsb::modulate_into_signed(ev.frame, amplitude, phase, cfo, offset, accum);
+    }
+  }
+}
+
+}  // namespace speccal::airtraffic

@@ -1,0 +1,27 @@
+// SignalSource adapter: renders the simulated sky's ADS-B transmissions
+// into SDR capture buffers with full link-budget amplitudes.
+#pragma once
+
+#include <memory>
+
+#include "airtraffic/sky.hpp"
+#include "prop/linkbudget.hpp"
+#include "sdr/sim.hpp"
+
+namespace speccal::airtraffic {
+
+class AdsbSignalSource final : public sdr::SignalSource {
+ public:
+  explicit AdsbSignalSource(std::shared_ptr<const SkySimulator> sky) noexcept
+      : sky_(std::move(sky)) {}
+
+  /// Renders every squitter overlapping the capture window. Requires the
+  /// capture to run at adsb::kPpmSampleRateHz and cover 1090 MHz; captures
+  /// tuned elsewhere see nothing (the signal is narrowband at 1090).
+  void render(const sdr::CaptureContext& ctx, std::span<dsp::Sample> accum) override;
+
+ private:
+  std::shared_ptr<const SkySimulator> sky_;
+};
+
+}  // namespace speccal::airtraffic

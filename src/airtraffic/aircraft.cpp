@@ -1,0 +1,19 @@
+#include "airtraffic/aircraft.hpp"
+
+#include <algorithm>
+
+namespace speccal::airtraffic {
+
+AircraftAt aircraft_at(const AircraftSpec& spec, double t_s) noexcept {
+  AircraftAt out;
+  const double distance_m = knots_to_mps(spec.ground_speed_kt) * t_s;
+  out.position = geo::destination(spec.start, spec.track_deg, distance_m);
+  out.position.alt_m =
+      std::max(0.0, spec.start.alt_m + spec.vertical_rate_fpm * 0.3048 / 60.0 * t_s);
+  out.track_deg = spec.track_deg;
+  out.ground_speed_kt = spec.ground_speed_kt;
+  out.vertical_rate_fpm = spec.vertical_rate_fpm;
+  return out;
+}
+
+}  // namespace speccal::airtraffic

@@ -1,0 +1,53 @@
+// Simulated aircraft: identity, kinematics and squitter schedule.
+//
+// Aircraft fly great-circle tracks at constant ground speed with an optional
+// vertical rate — an adequate model over the paper's 30-second measurement
+// windows. Transmit behaviour follows DO-260: airborne position and velocity
+// at ~2 Hz each (position alternating even/odd CPR format), identification
+// every ~5 s, transmit power between 75 and 500 W depending on the
+// transponder class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/wgs84.hpp"
+
+namespace speccal::airtraffic {
+
+struct AircraftSpec {
+  std::uint32_t icao = 0;
+  std::string callsign;
+  geo::Geodetic start;          // position at t = 0 (alt in metres MSL)
+  double track_deg = 0.0;       // constant course
+  double ground_speed_kt = 0.0;
+  double vertical_rate_fpm = 0.0;
+  double tx_power_dbm = 54.0;   // 75 W = 48.8 dBm ... 500 W = 57 dBm
+  double cfo_hz = 0.0;          // transmitter carrier offset
+  /// Schedule phases (seconds) so the fleet does not transmit in lockstep.
+  double position_phase_s = 0.0;
+  double velocity_phase_s = 0.0;
+  double ident_phase_s = 0.0;
+  double all_call_phase_s = 0.0;
+};
+
+/// DO-260 airborne broadcast intervals.
+inline constexpr double kPositionIntervalS = 0.5;   // 2 Hz
+inline constexpr double kVelocityIntervalS = 0.5;   // 2 Hz
+inline constexpr double kIdentIntervalS = 5.0;
+inline constexpr double kAllCallIntervalS = 1.0;    // DF11 acquisition squitter
+
+/// Kinematic state of an aircraft at time t [s].
+struct AircraftAt {
+  geo::Geodetic position;
+  double track_deg = 0.0;
+  double ground_speed_kt = 0.0;
+  double vertical_rate_fpm = 0.0;
+};
+
+/// Propagate the spec to time `t_s`.
+[[nodiscard]] AircraftAt aircraft_at(const AircraftSpec& spec, double t_s) noexcept;
+
+[[nodiscard]] constexpr double knots_to_mps(double kt) noexcept { return kt * 0.514444; }
+
+}  // namespace speccal::airtraffic

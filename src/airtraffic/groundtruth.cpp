@@ -1,0 +1,26 @@
+#include "airtraffic/groundtruth.hpp"
+
+#include <algorithm>
+
+namespace speccal::airtraffic {
+
+std::vector<FlightRecord> GroundTruthService::query(const geo::Geodetic& center,
+                                                    double radius_m, double t_s) const {
+  const double report_time = std::max(0.0, t_s - latency_s_);
+  std::vector<FlightRecord> out;
+  for (const auto& spec : sky_.fleet()) {
+    const AircraftAt at = aircraft_at(spec, report_time);
+    if (geo::haversine_m(center, at.position) > radius_m) continue;
+    FlightRecord rec;
+    rec.icao = spec.icao;
+    rec.callsign = spec.callsign;
+    rec.position = at.position;
+    rec.ground_speed_kt = at.ground_speed_kt;
+    rec.track_deg = at.track_deg;
+    rec.report_age_s = t_s - report_time;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace speccal::airtraffic

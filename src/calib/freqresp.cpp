@@ -1,0 +1,87 @@
+#include "calib/freqresp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace speccal::calib {
+
+std::string to_string(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kAdsb: return "ADS-B";
+    case SignalKind::kCellular: return "cellular";
+    case SignalKind::kTv: return "TV";
+  }
+  return "?";
+}
+
+FrequencyResponseReport evaluate_frequency_response(
+    std::vector<BandMeasurement> measurements, const FrequencyResponseConfig& config) {
+  FrequencyResponseReport report;
+
+  // Per-class aggregation.
+  std::map<cellular::SpectrumClass, BandQuality> classes;
+  double atten_sum = 0.0;
+  std::size_t atten_count = 0;
+
+  // For the slope fit: x = log10(freq), y = attenuation.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n_fit = 0;
+
+  for (const auto& m : measurements) {
+    const auto cls = cellular::classify_frequency(m.freq_hz);
+    BandQuality& bq = classes[cls];
+    bq.band_class = cls;
+    ++bq.sources_total;
+
+    const double attenuation = m.measured_dbm
+                                   ? std::max(0.0, m.expected_dbm - *m.measured_dbm)
+                                   : config.lost_penalty_db;
+    if (m.measured_dbm) {
+      ++bq.sources_received;
+      bq.mean_attenuation_db += attenuation;
+    }
+    bq.worst_attenuation_db = std::max(bq.worst_attenuation_db, attenuation);
+
+    atten_sum += attenuation;
+    ++atten_count;
+
+    const double x = std::log10(std::max(m.freq_hz, 1e6));
+    sx += x;
+    sy += attenuation;
+    sxx += x * x;
+    sxy += x * attenuation;
+    ++n_fit;
+  }
+
+  for (auto& [cls, bq] : classes) {
+    if (bq.sources_received > 0)
+      bq.mean_attenuation_db /= static_cast<double>(bq.sources_received);
+    std::size_t good = 0;
+    for (const auto& m : measurements) {
+      if (cellular::classify_frequency(m.freq_hz) != cls) continue;
+      if (m.measured_dbm &&
+          m.expected_dbm - *m.measured_dbm < config.degraded_threshold_db)
+        ++good;
+    }
+    bq.usable = static_cast<double>(good) >=
+                config.usable_fraction * static_cast<double>(bq.sources_total);
+    report.bands.push_back(bq);
+  }
+  std::sort(report.bands.begin(), report.bands.end(),
+            [](const BandQuality& a, const BandQuality& b) {
+              return static_cast<int>(a.band_class) < static_cast<int>(b.band_class);
+            });
+
+  if (n_fit >= 2) {
+    const double n = static_cast<double>(n_fit);
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) > 1e-12)
+      report.attenuation_slope_db_per_decade = (n * sxy - sx * sy) / denom;
+  }
+  report.mean_attenuation_db = atten_count ? atten_sum / static_cast<double>(atten_count) : 0.0;
+  report.measurements = std::move(measurements);
+  return report;
+}
+
+}  // namespace speccal::calib

@@ -1,0 +1,71 @@
+// Frequency-response evaluation — the paper's §3.2 technique.
+//
+// Fuses measurements of known signals (ADS-B at 1090 MHz, cellular RSRP
+// across bands, broadcast TV below 600 MHz) into a per-band picture of how
+// much a node's siting attenuates reception. "Expected" levels come from
+// the same link budget evaluated without site obstructions — the reception
+// an unobstructed outdoor installation at the same coordinates would see —
+// so attenuation isolates exactly what the paper wants: the siting penalty.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellular/bands.hpp"
+
+namespace speccal::calib {
+
+enum class SignalKind { kAdsb, kCellular, kTv };
+
+[[nodiscard]] std::string to_string(SignalKind kind);
+
+/// One known-signal measurement joined with its clear-sky expectation.
+struct BandMeasurement {
+  SignalKind kind = SignalKind::kCellular;
+  std::string source_label;      // "Tower 2 (1970 MHz)", "Ch 22", ...
+  double freq_hz = 0.0;
+  double expected_dbm = 0.0;     // unobstructed link-budget level
+  std::optional<double> measured_dbm;  // nullopt = not decodable / lost
+  double azimuth_deg = 0.0;      // direction toward the source
+};
+
+/// Aggregated verdict for one spectrum class.
+struct BandQuality {
+  cellular::SpectrumClass band_class{};
+  std::size_t sources_total = 0;
+  std::size_t sources_received = 0;
+  double mean_attenuation_db = 0.0;  // over received sources
+  double worst_attenuation_db = 0.0;
+  bool usable = false;               // node can monitor this class
+};
+
+struct FrequencyResponseConfig {
+  /// Attenuation above this marks a source as badly degraded even if
+  /// still detectable. Calibrated so the paper's conclusion holds: the
+  /// window and indoor sites (~25 dB down at sub-600 MHz) remain usable
+  /// for low-band monitoring.
+  double degraded_threshold_db = 28.0;
+  /// A band class is usable if at least this fraction of its sources was
+  /// received with attenuation below the degraded threshold.
+  double usable_fraction = 0.5;
+  /// Lost sources (no measurement) are assigned this attenuation for the
+  /// mean (a floor on how bad it must have been).
+  double lost_penalty_db = 50.0;
+};
+
+struct FrequencyResponseReport {
+  std::vector<BandMeasurement> measurements;
+  std::vector<BandQuality> bands;
+  /// Least-squares slope of attenuation versus log10(frequency) — positive
+  /// means reception worsens with frequency (the indoor signature).
+  double attenuation_slope_db_per_decade = 0.0;
+  double mean_attenuation_db = 0.0;
+};
+
+/// Build the report from joined measurements.
+[[nodiscard]] FrequencyResponseReport evaluate_frequency_response(
+    std::vector<BandMeasurement> measurements,
+    const FrequencyResponseConfig& config = {});
+
+}  // namespace speccal::calib

@@ -1,0 +1,102 @@
+#include "calib/lo_calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "tv/channels.hpp"
+
+namespace speccal::calib {
+
+namespace {
+/// Offset at which we park the pilot in baseband (off DC, where real
+/// receivers have an offset spike).
+constexpr double kPilotParkHz = -250e3;
+}  // namespace
+
+LoCalibrationResult calibrate_lo(sdr::Device& device,
+                                 const std::vector<int>& rf_channels,
+                                 const LoCalibrationConfig& config) {
+  LoCalibrationResult out;
+  device.set_gain_mode(sdr::GainMode::kManual);
+  device.set_gain_db(config.gain_db);
+
+  const auto samples =
+      static_cast<std::size_t>(config.capture_duration_s * config.sample_rate_hz);
+
+  for (int channel : rf_channels) {
+    const auto edge = tv::channel_lower_edge_hz(channel);
+    if (!edge) continue;
+    PilotMeasurement meas;
+    meas.station_pilot_hz = *edge + tv::kPilotOffsetHz;
+
+    if (!device.tune(meas.station_pilot_hz - kPilotParkHz, config.sample_rate_hz)) {
+      out.pilots.push_back(meas);
+      continue;
+    }
+    const dsp::Buffer capture = device.capture(samples);
+
+    // Zero-padded FFT peak search inside the expected window (a Goertzel
+    // comb at this resolution would cost ~1000x more).
+    const auto spectrum = dsp::power_spectrum(capture);
+    const double fft_size = static_cast<double>(spectrum.size());
+    const double bin_hz = config.sample_rate_hz / fft_size;
+
+    std::size_t peak = 0;
+    double peak_power = 0.0;
+    std::vector<double> window_powers;
+    for (double f = kPilotParkHz - config.search_span_hz;
+         f <= kPilotParkHz + config.search_span_hz; f += bin_hz) {
+      const std::size_t bin =
+          dsp::bin_for_frequency(f, config.sample_rate_hz, spectrum.size());
+      window_powers.push_back(spectrum[bin]);
+      if (spectrum[bin] > peak_power) {
+        peak_power = spectrum[bin];
+        peak = bin;
+      }
+    }
+    if (window_powers.empty()) {
+      out.pilots.push_back(meas);
+      continue;
+    }
+
+    // Local floor: median over the search window (the pilot is ~1 bin).
+    std::vector<double> sorted = window_powers;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2, sorted.end());
+    const double floor = std::max(sorted[sorted.size() / 2], 1e-20);
+    meas.pilot_snr_db = 10.0 * std::log10(peak_power / floor);
+
+    if (meas.pilot_snr_db >= config.min_pilot_snr_db) {
+      // Parabolic interpolation over the peak bin and its neighbours.
+      double refine = 0.0;
+      if (peak > 0 && peak + 1 < spectrum.size()) {
+        const double prev = spectrum[peak - 1];
+        const double next = spectrum[peak + 1];
+        const double denom = prev - 2.0 * peak_power + next;
+        if (std::fabs(denom) > 1e-20)
+          refine = 0.5 * (prev - next) / denom * bin_hz;
+      }
+      double peak_freq = static_cast<double>(peak) * bin_hz;
+      if (peak_freq >= config.sample_rate_hz / 2.0) peak_freq -= config.sample_rate_hz;
+      const double measured = peak_freq + refine;
+      meas.measured_offset_hz = measured - kPilotParkHz;
+      // offset = -ppm * f_pilot / 1e6  =>  ppm = -offset / f_pilot * 1e6.
+      meas.ppm = -meas.measured_offset_hz / meas.station_pilot_hz * 1e6;
+      meas.valid = true;
+      ++out.valid_count;
+    }
+    out.pilots.push_back(meas);
+  }
+
+  // Robust aggregate: median over valid pilots.
+  std::vector<double> ppms;
+  for (const auto& p : out.pilots)
+    if (p.valid) ppms.push_back(p.ppm);
+  if (!ppms.empty()) {
+    std::nth_element(ppms.begin(), ppms.begin() + ppms.size() / 2, ppms.end());
+    out.ppm = ppms[ppms.size() / 2];
+  }
+  return out;
+}
+
+}  // namespace speccal::calib

@@ -1,0 +1,286 @@
+#include "calib/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "prop/pathloss.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace speccal::calib {
+
+CalibrationPipeline::CalibrationPipeline(WorldModel world, PipelineConfig config)
+    : world_(std::move(world)), config_(config) {}
+
+CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
+                                                 const NodeClaims& claims) const {
+  CalibrationReport report;
+  report.claims = claims;
+
+  const sdr::RxEnvironment& rx = device.rx_environment();
+  // Clear-sky twin of this receiver: same place/antenna, no obstructions.
+  sdr::RxEnvironment clear = rx;
+  clear.obstructions = nullptr;
+  clear.fading = nullptr;
+
+  // --- 1. ADS-B directional survey --------------------------------------
+  if (world_.sky) {
+    airtraffic::GroundTruthService gt(*world_.sky, world_.ground_truth_latency_s);
+    AdsbSurvey survey(config_.survey);
+    report.survey = survey.run(device, *world_.sky, gt);
+  }
+  report.fov = config_.use_knn_fov ? estimate_fov_knn(report.survey, config_.fov)
+                                   : estimate_fov_sectors(report.survey, config_.fov);
+
+  // --- 2. Cellular scan ---------------------------------------------------
+  cellular::CellScanner scanner(config_.cell_scan);
+  const auto nearby = world_.cells.near(rx.position, config_.cell_search_radius_m);
+  report.cell_scan =
+      scanner.scan(nearby, rx, device.info().frontend_loss_db);
+
+  std::vector<BandMeasurement> measurements;
+  for (const auto& meas : report.cell_scan) {
+    const auto expected = scanner.measure(meas.cell, clear);
+    BandMeasurement bm;
+    bm.kind = SignalKind::kCellular;
+    std::ostringstream label;
+    label << meas.cell.operator_name << " B" << meas.cell.band << " ("
+          << meas.cell.dl_freq_hz / 1e6 << " MHz)";
+    bm.source_label = label.str();
+    bm.freq_hz = meas.cell.dl_freq_hz;
+    bm.expected_dbm = expected.rsrp_dbm;
+    if (meas.decoded) bm.measured_dbm = meas.rsrp_dbm;
+    bm.azimuth_deg = geo::bearing_deg(rx.position, meas.cell.position);
+    measurements.push_back(std::move(bm));
+  }
+
+  // --- 3. Broadcast TV sweep ----------------------------------------------
+  tv::PowerMeter meter(config_.tv_meter);
+  const double tv_noise_dbm = prop::noise_floor_dbm(
+      config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
+  for (const auto& emitter : world_.tv_channels) {
+    const auto channel = tv::channel_for_frequency(emitter.carrier_hz);
+    if (!channel) continue;
+    const auto reading = meter.measure_channel(device, *channel);
+    report.tv_readings.push_back(reading);
+
+    // Clear-sky expectation straight from the link budget.
+    sdr::FixedEmitterSource probe(emitter, util::Rng(1));
+    BandMeasurement bm;
+    bm.kind = SignalKind::kTv;
+    std::ostringstream label;
+    label << "TV ch " << *channel << " (" << emitter.carrier_hz / 1e6 << " MHz)";
+    bm.source_label = label.str();
+    bm.freq_hz = emitter.carrier_hz;
+    bm.expected_dbm = probe.received_power_dbm(clear);
+    if (reading.tune_ok &&
+        reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
+      bm.measured_dbm = reading.power_dbm;
+    bm.azimuth_deg = geo::bearing_deg(rx.position, emitter.position);
+    measurements.push_back(std::move(bm));
+  }
+
+  // --- 4. Fuse, classify, verify -------------------------------------------
+  report.frequency_response =
+      evaluate_frequency_response(std::move(measurements), config_.freqresp);
+  report.classification = classify_installation(report.fov, report.frequency_response,
+                                                config_.classifier);
+  report.trust = evaluate_trust(claims, report.survey, report.fov,
+                                report.frequency_response, report.classification,
+                                config_.trust);
+
+  // --- 5. Hardware separation + reference calibration ----------------------
+  report.hardware = diagnose_hardware(report.frequency_response, report.fov,
+                                      config_.hardware);
+  if (config_.run_lo_calibration) {
+    // Only pilot-hunt on channels the sweep showed as receivable.
+    std::vector<int> receivable;
+    for (const auto& reading : report.tv_readings)
+      if (reading.tune_ok &&
+          reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
+        receivable.push_back(reading.rf_channel);
+    report.lo_calibration = calibrate_lo(device, receivable, config_.lo);
+  }
+  return report;
+}
+
+void CalibrationReport::write_json(std::ostream& os) const {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("node_id");
+  w.value(claims.node_id);
+
+  w.key("survey");
+  w.begin_object();
+  w.key("aircraft_in_truth");
+  w.value(survey.observations.size());
+  w.key("aircraft_received");
+  w.value(survey.received_count());
+  w.key("frames_decoded");
+  w.value(static_cast<std::int64_t>(survey.total_frames_decoded));
+  w.key("frames_crc_repaired");
+  w.value(static_cast<std::int64_t>(survey.frames_crc_repaired));
+  w.key("unmatched_receptions");
+  w.value(static_cast<std::int64_t>(survey.unmatched_receptions));
+  w.end_object();
+
+  w.key("field_of_view");
+  w.begin_object();
+  w.key("open_fraction");
+  w.value(fov.open_fraction_deg);
+  w.key("open_sectors");
+  w.value(fov.open_sectors.to_string());
+  w.key("usable_observations");
+  w.value(fov.usable_observations);
+  w.end_object();
+
+  w.key("cell_scan");
+  w.begin_array();
+  for (const auto& m : cell_scan) {
+    w.begin_object();
+    w.key("band");
+    w.value(m.cell.band);
+    w.key("earfcn");
+    w.value(static_cast<std::int64_t>(m.cell.earfcn));
+    w.key("freq_mhz");
+    w.value(m.cell.dl_freq_hz / 1e6);
+    w.key("decoded");
+    w.value(m.decoded);
+    if (m.decoded) {
+      w.key("rsrp_dbm");
+      w.value(m.rsrp_dbm);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("tv_sweep");
+  w.begin_array();
+  for (const auto& r : tv_readings) {
+    w.begin_object();
+    w.key("channel");
+    w.value(r.rf_channel);
+    w.key("freq_mhz");
+    w.value(r.center_hz / 1e6);
+    w.key("power_dbfs");
+    w.value(r.power_dbfs);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("frequency_response");
+  w.begin_object();
+  w.key("mean_attenuation_db");
+  w.value(frequency_response.mean_attenuation_db);
+  w.key("slope_db_per_decade");
+  w.value(frequency_response.attenuation_slope_db_per_decade);
+  w.key("bands");
+  w.begin_array();
+  for (const auto& b : frequency_response.bands) {
+    w.begin_object();
+    w.key("class");
+    w.value(cellular::to_string(b.band_class));
+    w.key("usable");
+    w.value(b.usable);
+    w.key("mean_attenuation_db");
+    w.value(b.mean_attenuation_db);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("classification");
+  w.begin_object();
+  w.key("type");
+  w.value(to_string(classification.type));
+  w.key("confidence");
+  w.value(classification.confidence);
+  w.key("rationale");
+  w.begin_array();
+  for (const auto& reason : classification.rationale) w.value(reason);
+  w.end_array();
+  w.end_object();
+
+  w.key("hardware");
+  w.begin_object();
+  w.key("cable_fault_suspected");
+  w.value(hardware.cable_fault_suspected);
+  w.key("estimated_cable_loss_db");
+  w.value(hardware.estimated_cable_loss_db);
+  w.key("antenna_band_mismatch");
+  w.value(hardware.antenna_band_mismatch);
+  w.key("notes");
+  w.begin_array();
+  for (const auto& note : hardware.notes) w.value(note);
+  w.end_array();
+  w.end_object();
+
+  w.key("lo_calibration");
+  w.begin_object();
+  w.key("usable");
+  w.value(lo_calibration.usable());
+  w.key("ppm");
+  w.value(lo_calibration.ppm);
+  w.key("pilots_used");
+  w.value(lo_calibration.valid_count);
+  w.end_object();
+
+  w.key("trust");
+  w.begin_object();
+  w.key("score");
+  w.value(trust.score);
+  w.key("findings");
+  w.begin_array();
+  for (const auto& f : trust.findings) {
+    w.begin_object();
+    w.key("severity");
+    w.value(f.severity == Severity::kViolation
+                ? "violation"
+                : (f.severity == Severity::kWarning ? "warning" : "info"));
+    w.key("description");
+    w.value(f.description);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+}
+
+void NodeRegistry::record(CalibrationReport report) {
+  reports_.insert_or_assign(report.claims.node_id, std::move(report));
+}
+
+const CalibrationReport* NodeRegistry::find(const std::string& node_id) const noexcept {
+  const auto it = reports_.find(node_id);
+  return it == reports_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> NodeRegistry::ranked_by_trust() const {
+  std::vector<std::string> ids;
+  ids.reserve(reports_.size());
+  for (const auto& [id, report] : reports_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](const std::string& a, const std::string& b) {
+    return reports_.at(a).trust.score > reports_.at(b).trust.score;
+  });
+  return ids;
+}
+
+std::vector<std::string> NodeRegistry::usable_for(double freq_hz,
+                                                  std::optional<double> azimuth_deg) const {
+  const auto cls = cellular::classify_frequency(freq_hz);
+  std::vector<std::string> out;
+  for (const auto& [id, report] : reports_) {
+    bool band_ok = false;
+    for (const auto& b : report.frequency_response.bands)
+      if (b.band_class == cls && b.usable) band_ok = true;
+    if (!band_ok) continue;
+    if (azimuth_deg && !report.fov.open_sectors.contains(*azimuth_deg)) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace speccal::calib

@@ -1,0 +1,113 @@
+// End-to-end calibration pipeline and node registry — the paper's §5
+// "end-to-end system", assembled from the building blocks:
+//   ADS-B survey -> FoV estimate
+//   cellular scan + TV sweep -> frequency response
+//   fuse -> installation classification -> claim verification -> trust
+// One CalibrationReport per node; a NodeRegistry ranks the fleet.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "calib/classify.hpp"
+#include "calib/fov.hpp"
+#include "calib/freqresp.hpp"
+#include "calib/hardware.hpp"
+#include "calib/lo_calibration.hpp"
+#include "calib/survey.hpp"
+#include "calib/trust.hpp"
+#include "cellular/scanner.hpp"
+#include "sdr/emitter.hpp"
+#include "tv/power_meter.hpp"
+
+namespace speccal::calib {
+
+/// Everything that exists around the sensors (shared across nodes).
+struct WorldModel {
+  std::shared_ptr<const airtraffic::SkySimulator> sky;
+  double ground_truth_latency_s = 10.0;
+  cellular::CellDatabase cells;
+  /// Broadcast TV emitters (same configs used to build device sources).
+  std::vector<sdr::EmitterConfig> tv_channels;
+};
+
+struct PipelineConfig {
+  SurveyConfig survey;
+  FovConfig fov;
+  cellular::ScanConfig cell_scan;
+  tv::PowerMeterConfig tv_meter;
+  FrequencyResponseConfig freqresp;
+  ClassifierConfig classifier;
+  TrustConfig trust;
+  /// Cells considered "nearby" for the scan list.
+  double cell_search_radius_m = 30e3;
+  /// Use the KNN FoV estimator (paper §5) instead of plain sectors.
+  bool use_knn_fov = true;
+  /// TV reading below noise floor + margin counts as lost.
+  double tv_detect_margin_db = 2.0;
+  /// Hardware-fault separation thresholds.
+  HardwareDiagnosisConfig hardware;
+  /// Reference-oscillator calibration against receivable TV pilots.
+  LoCalibrationConfig lo;
+  bool run_lo_calibration = true;
+};
+
+/// Complete evaluation of one node.
+struct CalibrationReport {
+  NodeClaims claims;
+  SurveyResult survey;
+  FovEstimate fov;
+  std::vector<cellular::CellMeasurement> cell_scan;
+  std::vector<tv::ChannelPowerReading> tv_readings;
+  FrequencyResponseReport frequency_response;
+  Classification classification;
+  TrustReport trust;
+  HardwareDiagnosis hardware;
+  LoCalibrationResult lo_calibration;
+
+  /// Machine-readable export for downstream tooling.
+  void write_json(std::ostream& os) const;
+};
+
+class CalibrationPipeline {
+ public:
+  CalibrationPipeline(WorldModel world, PipelineConfig config = {});
+
+  /// Run the full evaluation. The device must already carry the world's
+  /// signal sources (ADS-B sky + TV emitters).
+  [[nodiscard]] CalibrationReport calibrate(sdr::SimulatedSdr& device,
+                                            const NodeClaims& claims) const;
+
+  [[nodiscard]] const WorldModel& world() const noexcept { return world_; }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  WorldModel world_;
+  PipelineConfig config_;
+};
+
+/// Fleet bookkeeping: stores reports, ranks nodes by trust, answers
+/// "which nodes can monitor band X from direction Y" queries.
+class NodeRegistry {
+ public:
+  void record(CalibrationReport report);
+
+  [[nodiscard]] const CalibrationReport* find(const std::string& node_id) const noexcept;
+
+  /// Node ids ordered by descending trust score.
+  [[nodiscard]] std::vector<std::string> ranked_by_trust() const;
+
+  /// Nodes whose calibration shows `freq_hz` usable and (optionally) the
+  /// azimuth open.
+  [[nodiscard]] std::vector<std::string> usable_for(double freq_hz,
+                                                    std::optional<double> azimuth_deg) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return reports_.size(); }
+
+ private:
+  std::map<std::string, CalibrationReport> reports_;
+};
+
+}  // namespace speccal::calib

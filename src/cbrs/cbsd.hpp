@@ -1,0 +1,47 @@
+// CBRS (Citizens Broadband Radio Service, 3550-3700 MHz) device records.
+//
+// §3.3 of the paper: "every CBRS modem is required to self-report its
+// location, indoor/outdoor status, installation situation, and other
+// relevant information. The methodologies proposed in this paper provide
+// valuable insights that can aid in the development of an automatic
+// verification system to validate the reported information."
+//
+// These are the self-reported registration parameters (FCC Part 96 /
+// WInnForum SAS-CBSD), the inputs the verification engine checks.
+#pragma once
+
+#include <string>
+
+#include "geo/wgs84.hpp"
+
+namespace speccal::cbrs {
+
+/// Device category per Part 96.
+enum class Category {
+  kA,  // <= 30 dBm/10 MHz EIRP; indoor, or outdoor with antenna <= 6 m HAAT
+  kB,  // <= 47 dBm/10 MHz EIRP; professional outdoor installation only
+};
+
+[[nodiscard]] inline std::string to_string(Category cat) {
+  return cat == Category::kA ? "Category A" : "Category B";
+}
+
+/// Part 96 EIRP caps [dBm per 10 MHz].
+inline constexpr double kCatAMaxEirpDbm = 30.0;
+inline constexpr double kCatBMaxEirpDbm = 47.0;
+/// Category A outdoor installations must keep the antenna below this height.
+inline constexpr double kCatAMaxOutdoorHeightM = 6.0;
+
+/// Self-reported registration record (subset of the SAS registration
+/// message relevant to siting verification).
+struct CbsdRegistration {
+  std::string cbsd_id;
+  Category category = Category::kA;
+  geo::Geodetic reported_position;    // claimed install coordinates
+  double antenna_height_m = 3.0;      // claimed height above ground
+  bool indoor_deployment = true;      // claimed indoor/outdoor status
+  double antenna_gain_dbi = 0.0;
+  double max_eirp_dbm = 30.0;         // requested operating EIRP
+};
+
+}  // namespace speccal::cbrs

@@ -1,0 +1,79 @@
+#include "cellular/bands.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace speccal::cellular {
+
+namespace {
+// 3GPP TS 36.101 Table 5.7.3-1 (downlink), North-American deployments plus
+// CBRS. dl_high is dl_low + the band's DL block width.
+constexpr std::array<BandInfo, 19> kLteBands = {{
+    {1, 2110e6, 2170e6, 0, "2100 IMT"},
+    {2, 1930e6, 1990e6, 600, "1900 PCS"},
+    {3, 1805e6, 1880e6, 1200, "1800+"},
+    {4, 2110e6, 2155e6, 1950, "AWS-1"},
+    {5, 869e6, 894e6, 2400, "850 CLR"},
+    {7, 2620e6, 2690e6, 2750, "2600 IMT-E"},
+    {12, 729e6, 746e6, 5010, "700 a"},
+    {13, 746e6, 756e6, 5180, "700 c"},
+    {14, 758e6, 768e6, 5280, "700 PS"},
+    {17, 734e6, 746e6, 5730, "700 b"},
+    {25, 1930e6, 1995e6, 8040, "1900+"},
+    {26, 859e6, 894e6, 8690, "850+"},
+    {29, 717e6, 728e6, 9660, "700 d (SDL)"},
+    {30, 2350e6, 2360e6, 9770, "2300 WCS"},
+    {41, 2496e6, 2690e6, 39650, "TD 2500"},
+    {46, 5150e6, 5925e6, 46790, "TD Unlicensed"},
+    {48, 3550e6, 3700e6, 55240, "TD 3500 CBRS"},
+    {66, 2110e6, 2200e6, 66436, "AWS-3"},
+    {71, 617e6, 652e6, 68586, "600"},
+}};
+}  // namespace
+
+std::span<const BandInfo> lte_bands() noexcept { return kLteBands; }
+
+std::optional<BandInfo> band_for_earfcn(std::uint32_t earfcn) noexcept {
+  for (const auto& band : kLteBands) {
+    const double width_hz = band.dl_high_hz - band.dl_low_hz;
+    const auto channels = static_cast<std::uint32_t>(width_hz / 100e3);
+    if (earfcn >= band.earfcn_offset && earfcn < band.earfcn_offset + channels)
+      return band;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> earfcn_to_dl_freq_hz(std::uint32_t earfcn) noexcept {
+  const auto band = band_for_earfcn(earfcn);
+  if (!band) return std::nullopt;
+  return band->dl_low_hz + 100e3 * static_cast<double>(earfcn - band->earfcn_offset);
+}
+
+std::optional<std::uint32_t> dl_freq_to_earfcn(int band_number, double freq_hz) noexcept {
+  for (const auto& band : kLteBands) {
+    if (band.band != band_number) continue;
+    if (freq_hz < band.dl_low_hz || freq_hz > band.dl_high_hz) return std::nullopt;
+    return band.earfcn_offset +
+           static_cast<std::uint32_t>(std::lround((freq_hz - band.dl_low_hz) / 100e3));
+  }
+  return std::nullopt;
+}
+
+SpectrumClass classify_frequency(double freq_hz) noexcept {
+  if (freq_hz < 1e9) return SpectrumClass::kLowBand;
+  if (freq_hz < 2.7e9) return SpectrumClass::kMidBand;
+  if (freq_hz < 7.125e9) return SpectrumClass::kHighBand;
+  return SpectrumClass::kMmWave;
+}
+
+std::string to_string(SpectrumClass cls) {
+  switch (cls) {
+    case SpectrumClass::kLowBand: return "low-band (<1 GHz)";
+    case SpectrumClass::kMidBand: return "mid-band (1-2.7 GHz)";
+    case SpectrumClass::kHighBand: return "high-band (2.7-7.125 GHz)";
+    case SpectrumClass::kMmWave: return "mmWave (>7.125 GHz)";
+  }
+  return "?";
+}
+
+}  // namespace speccal::cellular

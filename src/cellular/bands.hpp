@@ -1,0 +1,46 @@
+// 3GPP frequency band tables and ARFCN conversions.
+//
+// Cell databases (cellmapper.net and friends) identify channels by EARFCN;
+// the scanner needs the downlink centre frequency. Implemented per 3GPP
+// TS 36.101 (F_DL = F_DL_low + 0.1 * (N_DL - N_Offs_DL)) for the LTE bands
+// deployed in North America, which the paper's experiment uses, plus the
+// CBRS band (48) that §3.3 discusses and 5G NR FR2 examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace speccal::cellular {
+
+struct BandInfo {
+  int band = 0;
+  double dl_low_hz = 0.0;     // F_DL_low
+  double dl_high_hz = 0.0;    // upper edge of the DL block
+  std::uint32_t earfcn_offset = 0;  // N_Offs_DL
+  const char* label = "";
+};
+
+/// Supported LTE band descriptors (sorted by EARFCN offset).
+[[nodiscard]] std::span<const BandInfo> lte_bands() noexcept;
+
+/// Find the band containing a downlink EARFCN.
+[[nodiscard]] std::optional<BandInfo> band_for_earfcn(std::uint32_t earfcn) noexcept;
+
+/// Downlink carrier frequency for an EARFCN; nullopt if out of any band.
+[[nodiscard]] std::optional<double> earfcn_to_dl_freq_hz(std::uint32_t earfcn) noexcept;
+
+/// EARFCN whose centre is nearest `freq_hz` within `band`; nullopt if the
+/// frequency lies outside that band's downlink block.
+[[nodiscard]] std::optional<std::uint32_t> dl_freq_to_earfcn(int band,
+                                                             double freq_hz) noexcept;
+
+/// Band classification used by the calibration report (the paper reasons
+/// about low-band penetration versus mid-band attenuation).
+enum class SpectrumClass { kLowBand, kMidBand, kHighBand, kMmWave };
+
+[[nodiscard]] SpectrumClass classify_frequency(double freq_hz) noexcept;
+[[nodiscard]] std::string to_string(SpectrumClass cls);
+
+}  // namespace speccal::cellular

@@ -1,0 +1,52 @@
+#include "cellular/tower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace speccal::cellular {
+
+Cell make_cell(std::uint64_t cell_id, std::string operator_name, int band,
+               std::uint32_t earfcn, geo::Geodetic position, double eirp_dbm,
+               double bandwidth_hz, int pci) {
+  const auto freq = earfcn_to_dl_freq_hz(earfcn);
+  const auto band_info = band_for_earfcn(earfcn);
+  if (!freq || !band_info || band_info->band != band)
+    throw std::invalid_argument("make_cell: EARFCN does not belong to band " +
+                                std::to_string(band));
+  Cell cell;
+  cell.cell_id = cell_id;
+  cell.operator_name = std::move(operator_name);
+  cell.band = band;
+  cell.earfcn = earfcn;
+  cell.dl_freq_hz = *freq;
+  cell.bandwidth_hz = bandwidth_hz;
+  cell.position = position;
+  cell.eirp_dbm = eirp_dbm;
+  cell.pci = pci;
+  return cell;
+}
+
+std::vector<Cell> CellDatabase::near(const geo::Geodetic& center, double radius_m) const {
+  std::vector<Cell> out;
+  for (const auto& cell : cells_)
+    if (geo::haversine_m(center, cell.position) <= radius_m) out.push_back(cell);
+  std::sort(out.begin(), out.end(), [&](const Cell& a, const Cell& b) {
+    return geo::haversine_m(center, a.position) < geo::haversine_m(center, b.position);
+  });
+  return out;
+}
+
+std::vector<Cell> CellDatabase::in_band(int band) const {
+  std::vector<Cell> out;
+  for (const auto& cell : cells_)
+    if (cell.band == band) out.push_back(cell);
+  return out;
+}
+
+std::optional<Cell> CellDatabase::by_id(std::uint64_t cell_id) const {
+  for (const auto& cell : cells_)
+    if (cell.cell_id == cell_id) return cell;
+  return std::nullopt;
+}
+
+}  // namespace speccal::cellular

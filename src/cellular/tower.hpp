@@ -1,0 +1,68 @@
+// Cell towers and the cellmapper-style database.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellular/bands.hpp"
+#include "geo/wgs84.hpp"
+
+namespace speccal::cellular {
+
+enum class RadioAccess { kLte, kNr };
+
+/// One downlink cell (a tower may host several).
+struct Cell {
+  std::uint64_t cell_id = 0;
+  std::string operator_name;
+  RadioAccess rat = RadioAccess::kLte;
+  int band = 0;
+  std::uint32_t earfcn = 0;
+  double dl_freq_hz = 0.0;
+  double bandwidth_hz = 10e6;
+  geo::Geodetic position;     // antenna location (alt = height AGL, m)
+  double eirp_dbm = 62.0;     // per-channel EIRP (macro ~58-64 dBm)
+  int pci = 0;                // physical cell id
+
+  /// Number of downlink resource blocks for the configured bandwidth.
+  [[nodiscard]] int resource_blocks() const noexcept {
+    if (bandwidth_hz <= 1.4e6) return 6;
+    if (bandwidth_hz <= 3e6) return 15;
+    if (bandwidth_hz <= 5e6) return 25;
+    if (bandwidth_hz <= 10e6) return 50;
+    if (bandwidth_hz <= 15e6) return 75;
+    return 100;
+  }
+};
+
+/// Construct a cell from band + EARFCN (frequency derived), throwing
+/// std::invalid_argument when the EARFCN is outside the band.
+[[nodiscard]] Cell make_cell(std::uint64_t cell_id, std::string operator_name, int band,
+                             std::uint32_t earfcn, geo::Geodetic position,
+                             double eirp_dbm, double bandwidth_hz, int pci);
+
+/// Queryable collection of cells.
+class CellDatabase {
+ public:
+  CellDatabase() = default;
+  explicit CellDatabase(std::vector<Cell> cells) : cells_(std::move(cells)) {}
+
+  void add(Cell cell) { cells_.push_back(std::move(cell)); }
+
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+  /// Cells within `radius_m` of `center`, nearest first.
+  [[nodiscard]] std::vector<Cell> near(const geo::Geodetic& center, double radius_m) const;
+
+  /// Cells in a given LTE band.
+  [[nodiscard]] std::vector<Cell> in_band(int band) const;
+
+  [[nodiscard]] std::optional<Cell> by_id(std::uint64_t cell_id) const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+}  // namespace speccal::cellular

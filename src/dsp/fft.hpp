@@ -1,0 +1,43 @@
+// Iterative radix-2 FFT.
+//
+// The TV power meter and the spectrum snapshot tooling need forward
+// transforms of power-of-two blocks; tests verify against a direct DFT and
+// Parseval's identity (the measurement principle the paper's GNU Radio
+// program relies on).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace speccal::dsp {
+
+/// True if n is a nonzero power of two.
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+/// Throws std::invalid_argument otherwise.
+void fft_inplace(std::span<std::complex<double>> data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(std::span<std::complex<double>> data);
+
+/// Out-of-place convenience wrappers.
+[[nodiscard]] std::vector<std::complex<double>> fft(std::span<const std::complex<double>> data);
+[[nodiscard]] std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> data);
+
+/// Power spectrum |X[k]|^2 / N^2 of a float I/Q block after applying
+/// `window` (empty window = rectangular). Input is zero-padded to the next
+/// power of two. Result is linear power per bin, full scale = 1.0.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
+                                                 std::span<const double> window = {});
+
+/// Index of the spectrum bin for `freq_hz` given `sample_rate_hz`
+/// (negative frequencies map to the upper half, standard FFT layout).
+[[nodiscard]] std::size_t bin_for_frequency(double freq_hz, double sample_rate_hz,
+                                            std::size_t fft_size) noexcept;
+
+}  // namespace speccal::dsp

@@ -1,0 +1,139 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace speccal::dsp {
+
+namespace {
+[[nodiscard]] double sinc(double x) noexcept {
+  if (std::fabs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+}  // namespace
+
+std::vector<double> design_lowpass(double sample_rate_hz, double cutoff_hz,
+                                   std::size_t taps, WindowType window) {
+  if (sample_rate_hz <= 0.0 || cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0)
+    throw std::invalid_argument("design_lowpass: cutoff must be in (0, fs/2)");
+  if (taps < 3) throw std::invalid_argument("design_lowpass: need >= 3 taps");
+  if (taps % 2 == 0) ++taps;  // force odd length for a symmetric type-I filter
+
+  const double fc = cutoff_hz / sample_rate_hz;  // normalized (cycles/sample)
+  const auto win = make_window(window, taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+
+  std::vector<double> h(taps);
+  double gain = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double n = static_cast<double>(i) - mid;
+    h[i] = 2.0 * fc * sinc(2.0 * fc * n) * win[i];
+    gain += h[i];
+  }
+  for (auto& v : h) v /= gain;  // unity DC gain
+  return h;
+}
+
+std::vector<std::complex<double>> design_bandpass(double sample_rate_hz, double low_hz,
+                                                  double high_hz, std::size_t taps,
+                                                  WindowType window) {
+  if (high_hz <= low_hz)
+    throw std::invalid_argument("design_bandpass: high must exceed low");
+  const double width = high_hz - low_hz;
+  const double center = (high_hz + low_hz) / 2.0;
+  if (width / 2.0 >= sample_rate_hz / 2.0)
+    throw std::invalid_argument("design_bandpass: band wider than Nyquist");
+
+  const auto proto = design_lowpass(sample_rate_hz, width / 2.0, taps, window);
+  const double mid = static_cast<double>(proto.size() - 1) / 2.0;
+  const double w0 = 2.0 * std::numbers::pi * center / sample_rate_hz;
+
+  std::vector<std::complex<double>> h(proto.size());
+  for (std::size_t i = 0; i < proto.size(); ++i) {
+    const double phase = w0 * (static_cast<double>(i) - mid);
+    h[i] = proto[i] * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return h;
+}
+
+FirFilter::FirFilter(std::vector<std::complex<double>> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  delay_.assign(taps_.size(), {0.0, 0.0});
+}
+
+void FirFilter::process(std::span<const std::complex<float>> in,
+                        std::vector<std::complex<float>>& out) {
+  out.reserve(out.size() + in.size());
+  const std::size_t n = taps_.size();
+  for (const auto& s : in) {
+    delay_[head_] = std::complex<double>(s.real(), s.imag());
+    std::complex<double> acc(0.0, 0.0);
+    std::size_t idx = head_;
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += taps_[t] * delay_[idx];
+      idx = (idx == 0) ? n - 1 : idx - 1;
+    }
+    head_ = (head_ + 1) % n;
+    out.emplace_back(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+}
+
+std::vector<std::complex<float>> FirFilter::filter(std::span<const std::complex<float>> in) {
+  std::vector<std::complex<float>> out;
+  process(in, out);
+  return out;
+}
+
+void FirFilter::reset() noexcept {
+  for (auto& v : delay_) v = {0.0, 0.0};
+  head_ = 0;
+}
+
+double FirFilter::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t t = 0; t < taps_.size(); ++t) {
+    const double phase = -w * static_cast<double>(t);
+    acc += taps_[t] * std::complex<double>(std::cos(phase), std::sin(phase));
+  }
+  return std::abs(acc);
+}
+
+MovingAverage::MovingAverage(std::size_t length) {
+  if (length == 0) throw std::invalid_argument("MovingAverage: zero length");
+  window_.assign(length, 0.0);
+}
+
+double MovingAverage::push(double value) noexcept {
+  sum_ -= window_[head_];
+  window_[head_] = value;
+  sum_ += value;
+  head_ = (head_ + 1) % window_.size();
+  if (count_ < window_.size()) ++count_;
+  // Re-sum exactly once per window length to cancel accumulated rounding.
+  if (++pushes_since_recompute_ >= window_.size() * 16) recompute();
+  return this->value();
+}
+
+double MovingAverage::value() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void MovingAverage::reset() noexcept {
+  for (auto& v : window_) v = 0.0;
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  pushes_since_recompute_ = 0;
+}
+
+void MovingAverage::recompute() noexcept {
+  double acc = 0.0;
+  for (double v : window_) acc += v;
+  sum_ = acc;
+  pushes_since_recompute_ = 0;
+}
+
+}  // namespace speccal::dsp

@@ -1,0 +1,84 @@
+// FIR filter design (windowed sinc) and streaming application.
+//
+// The TV power meter band-pass-filters one ATSC channel out of a wide
+// capture before integrating power (Parseval), exactly like the paper's
+// GNU Radio flowgraph. Filters are designed at runtime from the channel
+// edges, so the design code is part of the library proper.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace speccal::dsp {
+
+/// Windowed-sinc low-pass prototype. `cutoff_hz` < `sample_rate_hz`/2,
+/// `taps` odd (enforced by rounding up). Unity DC gain.
+[[nodiscard]] std::vector<double> design_lowpass(double sample_rate_hz, double cutoff_hz,
+                                                 std::size_t taps,
+                                                 WindowType window = WindowType::kHamming);
+
+/// Complex band-pass for [low_hz, high_hz] (may span negative frequencies
+/// in the complex baseband sense). Built by modulating a low-pass prototype
+/// to the band centre; coefficients are complex.
+[[nodiscard]] std::vector<std::complex<double>> design_bandpass(
+    double sample_rate_hz, double low_hz, double high_hz, std::size_t taps,
+    WindowType window = WindowType::kHamming);
+
+/// Streaming FIR for complex float samples with complex double taps.
+/// process() can be called repeatedly; state carries across calls.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<std::complex<double>> taps);
+
+  /// Filter a block, appending outputs (one per input) to `out`.
+  void process(std::span<const std::complex<float>> in,
+               std::vector<std::complex<float>>& out);
+
+  /// Convenience: filter a whole block and return the result.
+  [[nodiscard]] std::vector<std::complex<float>> filter(
+      std::span<const std::complex<float>> in);
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t tap_count() const noexcept { return taps_.size(); }
+
+  /// Magnitude response (linear) at `freq_hz` for `sample_rate_hz`.
+  [[nodiscard]] double magnitude_at(double freq_hz, double sample_rate_hz) const noexcept;
+
+ private:
+  std::vector<std::complex<double>> taps_;
+  std::vector<std::complex<double>> delay_;  // circular history
+  std::size_t head_ = 0;
+};
+
+/// Running mean over a fixed-length rectangular window ("very long moving
+/// average filter" from the paper, applied to |x|^2). Uses a double
+/// accumulator plus periodic exact recomputation to bound float drift.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t length);
+
+  /// Push one value, returns the current mean over the last `length`
+  /// values (partial mean until the window has filled).
+  double push(double value) noexcept;
+
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] bool full() const noexcept { return count_ >= window_.size(); }
+  [[nodiscard]] std::size_t length() const noexcept { return window_.size(); }
+  void reset() noexcept;
+
+ private:
+  void recompute() noexcept;
+
+  std::vector<double> window_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t pushes_since_recompute_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace speccal::dsp

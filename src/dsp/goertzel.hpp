@@ -1,0 +1,34 @@
+// Goertzel single-bin DFT.
+//
+// Detecting one known tone (the ATSC pilot, a carrier marker) does not need
+// a full FFT; Goertzel computes one bin in O(N) with two multiplies per
+// sample — cheap enough to run continuously on an embedded host.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <span>
+
+namespace speccal::dsp {
+
+/// Power (|X(f)|^2 / N^2, full scale = 1.0 for a full-scale tone) at
+/// `freq_hz` in `block` sampled at `sample_rate_hz`.
+[[nodiscard]] inline double goertzel_power(std::span<const std::complex<float>> block,
+                                           double freq_hz,
+                                           double sample_rate_hz) noexcept {
+  if (block.empty()) return 0.0;
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const std::complex<double> coeff(std::cos(w), std::sin(w));
+  // Complex-input Goertzel reduces to a running rotation-accumulate.
+  std::complex<double> acc{};
+  std::complex<double> phasor(1.0, 0.0);
+  for (const auto& s : block) {
+    acc += std::complex<double>(s.real(), s.imag()) * std::conj(phasor);
+    phasor *= coeff;
+  }
+  const double n = static_cast<double>(block.size());
+  return std::norm(acc) / (n * n);
+}
+
+}  // namespace speccal::dsp

@@ -1,0 +1,33 @@
+// Common I/Q sample types.
+//
+// SDR capture buffers are complex float32 (the native wire format of most
+// SDR drivers, "cf32"); analysis code promotes to double where numerical
+// accuracy matters (FFT verification, Parseval sums).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace speccal::dsp {
+
+using Sample = std::complex<float>;
+using Buffer = std::vector<Sample>;
+
+/// Mean power (|x|^2 average) of a sample block; 0 for an empty block.
+[[nodiscard]] inline double mean_power(std::span<const Sample> block) noexcept {
+  if (block.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Sample& s : block) acc += static_cast<double>(std::norm(s));
+  return acc / static_cast<double>(block.size());
+}
+
+/// Mean power in dB relative to full scale (|x| = 1.0 is full scale).
+/// Empty or silent blocks report -200 dBFS (an effective floor).
+[[nodiscard]] inline double mean_power_dbfs(std::span<const Sample> block) noexcept {
+  const double p = mean_power(block);
+  if (p <= 1e-20) return -200.0;
+  return 10.0 * std::log10(p);
+}
+
+}  // namespace speccal::dsp

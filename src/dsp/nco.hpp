@@ -1,0 +1,48 @@
+// Numerically controlled oscillator / complex mixer.
+//
+// Emitter synthesizers place each signal at its frequency offset inside the
+// SDR's capture bandwidth by mixing baseband waveforms with an NCO.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace speccal::dsp {
+
+/// Phase-accumulating complex oscillator. Phase continuity is preserved
+/// across blocks, so multi-block captures have no spectral seams.
+class Nco {
+ public:
+  Nco(double freq_hz, double sample_rate_hz) noexcept
+      : phase_step_(2.0 * std::numbers::pi * freq_hz / sample_rate_hz) {}
+
+  /// Next oscillator sample e^{j phase}.
+  [[nodiscard]] std::complex<float> next() noexcept {
+    const std::complex<float> out(static_cast<float>(std::cos(phase_)),
+                                  static_cast<float>(std::sin(phase_)));
+    phase_ += phase_step_;
+    if (phase_ > std::numbers::pi * 2.0) phase_ -= std::numbers::pi * 2.0;
+    if (phase_ < -std::numbers::pi * 2.0) phase_ += std::numbers::pi * 2.0;
+    return out;
+  }
+
+  /// Mix a block up/down by the NCO frequency, adding into `accum`
+  /// scaled by `amplitude`. `accum` must be at least as long as `in`.
+  void mix_add(std::span<const std::complex<float>> in, float amplitude,
+               std::span<std::complex<float>> accum) noexcept {
+    const std::size_t n = std::min(in.size(), accum.size());
+    for (std::size_t i = 0; i < n; ++i) accum[i] += in[i] * next() * amplitude;
+  }
+
+  void set_phase(double radians) noexcept { phase_ = radians; }
+  [[nodiscard]] double phase() const noexcept { return phase_; }
+
+ private:
+  double phase_step_;
+  double phase_ = 0.0;
+};
+
+}  // namespace speccal::dsp

@@ -1,0 +1,67 @@
+// Linear-feedback shift register pseudo-random bit sequences.
+//
+// Used for synthesizing data-like RF payloads (8VSB symbol stream for the
+// TV emitter, squitter payload bits) with a deterministic, seedable source
+// that has the flat spectrum of real scrambled broadcast data.
+#pragma once
+
+#include <cstdint>
+
+namespace speccal::dsp {
+
+/// Fibonacci LFSR. Output is the LSB of the register; feedback is the XOR
+/// parity of the tapped stages shifted into the top bit.
+class Lfsr {
+ public:
+  /// `taps` is the feedback mask over register bits [0, length); `length`
+  /// the register length in bits (<= 32). A zero seed is coerced to 1
+  /// (the all-zeros state is a fixed point of the recurrence).
+  Lfsr(std::uint32_t taps, unsigned length, std::uint32_t seed = 1) noexcept
+      : taps_(taps), length_(length),
+        mask_((length >= 32) ? 0xFFFFFFFFu : ((1u << length) - 1u)),
+        state_(seed & mask_) {
+    if (state_ == 0) state_ = 1;
+  }
+
+  /// Next output bit (0/1).
+  [[nodiscard]] unsigned next_bit() noexcept {
+    const unsigned out = state_ & 1u;
+    std::uint32_t fb = state_ & taps_;
+    fb ^= fb >> 16;
+    fb ^= fb >> 8;
+    fb ^= fb >> 4;
+    fb ^= fb >> 2;
+    fb ^= fb >> 1;
+    state_ = ((state_ >> 1) | ((fb & 1u) << (length_ - 1))) & mask_;
+    return out;
+  }
+
+  /// Next n bits packed MSB-first (n <= 32).
+  [[nodiscard]] std::uint32_t next_bits(unsigned n) noexcept {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < n; ++i) v = (v << 1) | next_bit();
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+ private:
+  std::uint32_t taps_;
+  unsigned length_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+/// PRBS-9 (x^9 + x^5 + 1), period 511 — ITU O.150. For a right-shift
+/// register holding s_n..s_{n+8}, the recurrence s_{n+9} = s_{n+4} + s_n
+/// taps bits 0 and 4.
+[[nodiscard]] inline Lfsr make_prbs9(std::uint32_t seed = 1) noexcept {
+  return Lfsr{(1u << 0) | (1u << 4), 9, seed};
+}
+
+/// PRBS-15 (x^15 + x^14 + 1), period 32767: s_{n+15} = s_{n+14} + s_n.
+[[nodiscard]] inline Lfsr make_prbs15(std::uint32_t seed = 1) noexcept {
+  return Lfsr{(1u << 0) | (1u << 14), 15, seed};
+}
+
+}  // namespace speccal::dsp

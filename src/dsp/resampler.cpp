@@ -1,0 +1,53 @@
+#include "dsp/resampler.hpp"
+
+#include <stdexcept>
+
+namespace speccal::dsp {
+
+Decimator::Decimator(unsigned factor, double input_rate_hz, std::size_t taps_per_phase)
+    : factor_(factor), output_rate_hz_(input_rate_hz / std::max(1u, factor)) {
+  if (factor == 0) throw std::invalid_argument("Decimator: zero factor");
+  if (factor == 1) {
+    taps_ = {1.0};
+  } else {
+    const double cutoff = 0.4 * input_rate_hz / factor;  // 80% of output Nyquist
+    taps_ = design_lowpass(input_rate_hz, cutoff, taps_per_phase * factor);
+  }
+  history_.assign(taps_.size(), {0.0, 0.0});
+}
+
+void Decimator::process(std::span<const std::complex<float>> in,
+                        std::vector<std::complex<float>>& out) {
+  out.reserve(out.size() + in.size() / factor_ + 1);
+  const std::size_t n = taps_.size();
+  for (const auto& sample : in) {
+    history_[head_] = std::complex<double>(sample.real(), sample.imag());
+    const std::size_t write_head = head_;
+    head_ = (head_ + 1) % n;
+    if (++phase_ < factor_) continue;
+    phase_ = 0;
+    // Convolve only when emitting an output (polyphase saving).
+    std::complex<double> acc{};
+    std::size_t idx = write_head;
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += taps_[t] * history_[idx];
+      idx = (idx == 0) ? n - 1 : idx - 1;
+    }
+    out.emplace_back(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+}
+
+std::vector<std::complex<float>> Decimator::decimate(
+    std::span<const std::complex<float>> in) {
+  std::vector<std::complex<float>> out;
+  process(in, out);
+  return out;
+}
+
+void Decimator::reset() noexcept {
+  for (auto& v : history_) v = {0.0, 0.0};
+  head_ = 0;
+  phase_ = 0;
+}
+
+}  // namespace speccal::dsp

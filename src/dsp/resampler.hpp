@@ -1,0 +1,46 @@
+// Integer-factor FIR decimator.
+//
+// Wide captures are decimated to per-channel rates before narrowband
+// processing (e.g. an 8 Msps TV capture down to 2 Msps for inspection).
+// Decimation = anti-alias low-pass + keep-every-Mth; the polyphase form
+// computes only the retained outputs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fir.hpp"
+
+namespace speccal::dsp {
+
+class Decimator {
+ public:
+  /// Decimate by `factor` (>= 1). The anti-alias cutoff sits at 80% of the
+  /// output Nyquist; `taps_per_phase` controls filter sharpness.
+  Decimator(unsigned factor, double input_rate_hz, std::size_t taps_per_phase = 24);
+
+  /// Process a block; output length ~ input/factor (streaming, carries
+  /// state across calls).
+  void process(std::span<const std::complex<float>> in,
+               std::vector<std::complex<float>>& out);
+
+  [[nodiscard]] std::vector<std::complex<float>> decimate(
+      std::span<const std::complex<float>> in);
+
+  [[nodiscard]] unsigned factor() const noexcept { return factor_; }
+  [[nodiscard]] double output_rate_hz() const noexcept { return output_rate_hz_; }
+
+  void reset() noexcept;
+
+ private:
+  unsigned factor_;
+  double output_rate_hz_;
+  std::vector<double> taps_;             // prototype low-pass
+  std::vector<std::complex<double>> history_;  // delay line (taps_.size())
+  std::size_t head_ = 0;
+  unsigned phase_ = 0;  // samples consumed since the last retained output
+};
+
+}  // namespace speccal::dsp

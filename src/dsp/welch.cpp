@@ -1,0 +1,78 @@
+#include "dsp/welch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace speccal::dsp {
+
+WelchResult welch_psd(std::span<const std::complex<float>> block,
+                      double sample_rate_hz, const WelchConfig& config) {
+  if (!is_power_of_two(config.segment_size))
+    throw std::invalid_argument("welch_psd: segment size must be a power of two");
+  if (config.overlap < 0.0 || config.overlap >= 1.0)
+    throw std::invalid_argument("welch_psd: overlap must be in [0, 1)");
+
+  WelchResult out;
+  out.bin_width_hz = sample_rate_hz / static_cast<double>(config.segment_size);
+  if (block.size() < config.segment_size) return out;
+
+  const auto window = make_window(config.window, config.segment_size);
+  const double window_power = dsp::window_power(window);
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(config.segment_size) *
+                                  (1.0 - config.overlap)));
+
+  out.psd.assign(config.segment_size, 0.0);
+  std::vector<std::complex<double>> work(config.segment_size);
+  for (std::size_t start = 0; start + config.segment_size <= block.size();
+       start += hop) {
+    for (std::size_t i = 0; i < config.segment_size; ++i) {
+      const auto& s = block[start + i];
+      work[i] = std::complex<double>(s.real(), s.imag()) * window[i];
+    }
+    fft_inplace(work);
+    // Modified periodogram normalized by the window power so that the sum
+    // over bins equals the segment's mean power (Parseval-consistent).
+    const double scale = 1.0 / (window_power * static_cast<double>(config.segment_size));
+    for (std::size_t k = 0; k < config.segment_size; ++k)
+      out.psd[k] += std::norm(work[k]) * scale;
+    ++out.segments_averaged;
+  }
+  if (out.segments_averaged > 0) {
+    const double inv = 1.0 / static_cast<double>(out.segments_averaged);
+    for (auto& v : out.psd) v *= inv;
+  }
+  return out;
+}
+
+double band_power(const WelchResult& psd, double sample_rate_hz, double low_hz,
+                  double high_hz) noexcept {
+  if (psd.psd.empty() || high_hz <= low_hz) return 0.0;
+  const auto n = psd.psd.size();
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Bin frequency in [-fs/2, fs/2).
+    double f = static_cast<double>(k) * sample_rate_hz / static_cast<double>(n);
+    if (f >= sample_rate_hz / 2.0) f -= sample_rate_hz;
+    if (f >= low_hz && f < high_hz) total += psd.psd[k];
+  }
+  return total;
+}
+
+double median_floor(const WelchResult& psd) { return percentile_floor(psd, 0.5); }
+
+double percentile_floor(const WelchResult& psd, double quantile) {
+  if (psd.psd.empty()) return 0.0;
+  std::vector<double> sorted = psd.psd;
+  const auto idx = std::min(sorted.size() - 1,
+                            static_cast<std::size_t>(quantile *
+                                                     static_cast<double>(sorted.size())));
+  const auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(idx);
+  std::nth_element(sorted.begin(), nth, sorted.end());
+  return *nth;
+}
+
+}  // namespace speccal::dsp

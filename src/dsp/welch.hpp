@@ -1,0 +1,53 @@
+// Welch power-spectral-density estimation.
+//
+// The spectrum-monitoring service (the actual product a calibrated node
+// sells, §2 of the paper) reports PSDs to the cloud. Welch's method —
+// averaged modified periodograms over overlapping windowed segments —
+// trades resolution for variance, which is what occupancy detection needs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace speccal::dsp {
+
+struct WelchConfig {
+  std::size_t segment_size = 1024;   // must be a power of two
+  double overlap = 0.5;              // fraction of segment_size
+  WindowType window = WindowType::kHann;
+};
+
+struct WelchResult {
+  /// Power per bin, linear, full scale = 1.0; FFT bin order
+  /// (bin 0 = DC, upper half = negative frequencies).
+  std::vector<double> psd;
+  std::size_t segments_averaged = 0;
+  double bin_width_hz = 0.0;
+};
+
+/// Estimate the PSD of an I/Q block. Throws std::invalid_argument for a
+/// non-power-of-two segment size; returns an empty result when the block
+/// is shorter than one segment.
+[[nodiscard]] WelchResult welch_psd(std::span<const std::complex<float>> block,
+                                    double sample_rate_hz,
+                                    const WelchConfig& config = {});
+
+/// Total power (linear) in [low_hz, high_hz] of a Welch result (frequencies
+/// relative to the capture centre; negative = below centre).
+[[nodiscard]] double band_power(const WelchResult& psd, double sample_rate_hz,
+                                double low_hz, double high_hz) noexcept;
+
+/// Robust noise-floor estimate: the median PSD bin (occupied channels are a
+/// minority of bins in a wide capture), scaled to per-bin linear power.
+[[nodiscard]] double median_floor(const WelchResult& psd);
+
+/// Quantile-based floor for captures where a wideband signal fills most of
+/// the bandwidth (a 6 MHz TV channel inside an 8 MHz hop leaves only ~25%
+/// of the bins for noise — the median would land inside the signal).
+[[nodiscard]] double percentile_floor(const WelchResult& psd, double quantile);
+
+}  // namespace speccal::dsp

@@ -1,0 +1,50 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace speccal::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;  // 0..1
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) + 0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+      case WindowType::kBlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(kTwoPi * x) +
+               0.14128 * std::cos(2.0 * kTwoPi * x) -
+               0.01168 * std::cos(3.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double window_sum(const std::vector<double>& w) noexcept {
+  double acc = 0.0;
+  for (double v : w) acc += v;
+  return acc;
+}
+
+double window_power(const std::vector<double>& w) noexcept {
+  double acc = 0.0;
+  for (double v : w) acc += v * v;
+  return acc;
+}
+
+}  // namespace speccal::dsp

@@ -1,0 +1,26 @@
+// Window functions for spectral analysis and FIR design.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace speccal::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,
+};
+
+/// Generate an n-point symmetric window.
+[[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Sum of window coefficients (coherent gain * n).
+[[nodiscard]] double window_sum(const std::vector<double>& w) noexcept;
+
+/// Sum of squared coefficients (noise-equivalent gain * n).
+[[nodiscard]] double window_power(const std::vector<double>& w) noexcept;
+
+}  // namespace speccal::dsp

@@ -1,0 +1,76 @@
+#include "geo/sector.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace speccal::geo {
+
+using util::wrap_degrees;
+
+double Sector::width_deg() const noexcept {
+  const double s = wrap_degrees(start_deg);
+  const double e = wrap_degrees(end_deg);
+  if (s == e) return 360.0;
+  return e > s ? e - s : 360.0 - s + e;
+}
+
+bool Sector::contains(double azimuth_deg) const noexcept {
+  const double a = wrap_degrees(azimuth_deg);
+  const double s = wrap_degrees(start_deg);
+  const double e = wrap_degrees(end_deg);
+  if (s == e) return true;  // full circle
+  if (s < e) return a >= s && a < e;
+  return a >= s || a < e;  // wraps through north
+}
+
+double Sector::center_deg() const noexcept {
+  return wrap_degrees(wrap_degrees(start_deg) + width_deg() / 2.0);
+}
+
+bool SectorSet::contains(double azimuth_deg) const noexcept {
+  for (const auto& s : sectors_)
+    if (s.contains(azimuth_deg)) return true;
+  return false;
+}
+
+namespace {
+constexpr double kSampleStepDeg = 0.25;
+constexpr int kSampleCount = static_cast<int>(360.0 / kSampleStepDeg);
+}  // namespace
+
+double SectorSet::coverage_deg() const noexcept {
+  if (sectors_.empty()) return 0.0;
+  int covered = 0;
+  for (int i = 0; i < kSampleCount; ++i)
+    if (contains(i * kSampleStepDeg)) ++covered;
+  return covered * kSampleStepDeg;
+}
+
+std::string SectorSet::to_string() const {
+  if (sectors_.empty()) return "(none)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < sectors_.size(); ++i) {
+    if (i) os << " U ";
+    os << '[' << wrap_degrees(sectors_[i].start_deg) << ", "
+       << wrap_degrees(sectors_[i].end_deg) << ')';
+  }
+  return os.str();
+}
+
+double coverage_similarity(const SectorSet& a, const SectorSet& b) noexcept {
+  int inter = 0;
+  int uni = 0;
+  for (int i = 0; i < kSampleCount; ++i) {
+    const double az = i * kSampleStepDeg;
+    const bool in_a = a.contains(az);
+    const bool in_b = b.contains(az);
+    if (in_a && in_b) ++inter;
+    if (in_a || in_b) ++uni;
+  }
+  if (uni == 0) return 1.0;  // both empty: identical
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace speccal::geo

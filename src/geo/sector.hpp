@@ -1,0 +1,57 @@
+// Azimuth sectors: angular intervals on the compass circle.
+//
+// Obstruction maps and field-of-view estimates are expressed as sets of
+// sectors. A sector can wrap through north (e.g. [330, 30) covers 60 deg).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace speccal::geo {
+
+/// Half-open angular interval [start, end) in compass degrees; may wrap 0.
+/// A sector with start == end is interpreted as the full circle.
+struct Sector {
+  double start_deg = 0.0;
+  double end_deg = 0.0;
+
+  /// Angular width in degrees (0 < width <= 360).
+  [[nodiscard]] double width_deg() const noexcept;
+
+  /// True if azimuth (any real number, wrapped) falls inside.
+  [[nodiscard]] bool contains(double azimuth_deg) const noexcept;
+
+  /// Centre azimuth of the sector.
+  [[nodiscard]] double center_deg() const noexcept;
+};
+
+/// Union of sectors with set-style queries. Keeps the input sectors as
+/// given (no normalization) — membership is tested per sector.
+class SectorSet {
+ public:
+  SectorSet() = default;
+  explicit SectorSet(std::vector<Sector> sectors) : sectors_(std::move(sectors)) {}
+
+  void add(Sector s) { sectors_.push_back(s); }
+
+  [[nodiscard]] bool contains(double azimuth_deg) const noexcept;
+
+  /// Total covered width in degrees, counting overlaps once (computed by
+  /// 0.25-degree sampling — exact enough for FoV summaries).
+  [[nodiscard]] double coverage_deg() const noexcept;
+
+  [[nodiscard]] const std::vector<Sector>& sectors() const noexcept { return sectors_; }
+  [[nodiscard]] bool empty() const noexcept { return sectors_.empty(); }
+
+  /// Human-readable like "[250, 350) U [10, 30)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Sector> sectors_;
+};
+
+/// Jaccard-style overlap between two sector sets in [0, 1]
+/// (sampled at 0.25-degree resolution). 1 = identical coverage.
+[[nodiscard]] double coverage_similarity(const SectorSet& a, const SectorSet& b) noexcept;
+
+}  // namespace speccal::geo

@@ -1,0 +1,131 @@
+#include "geo/wgs84.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace speccal::geo {
+
+using util::deg_to_rad;
+using util::rad_to_deg;
+
+namespace {
+/// Prime-vertical radius of curvature at geodetic latitude `lat_rad`.
+[[nodiscard]] double prime_vertical_radius(double lat_rad) noexcept {
+  const double s = std::sin(lat_rad);
+  return kSemiMajorAxisM / std::sqrt(1.0 - kEccentricitySq * s * s);
+}
+}  // namespace
+
+Ecef to_ecef(const Geodetic& g) noexcept {
+  const double lat = deg_to_rad(g.lat_deg);
+  const double lon = deg_to_rad(g.lon_deg);
+  const double n = prime_vertical_radius(lat);
+  const double cos_lat = std::cos(lat);
+  return Ecef{
+      (n + g.alt_m) * cos_lat * std::cos(lon),
+      (n + g.alt_m) * cos_lat * std::sin(lon),
+      (n * (1.0 - kEccentricitySq) + g.alt_m) * std::sin(lat),
+  };
+}
+
+Geodetic to_geodetic(const Ecef& p) noexcept {
+  const double lon = std::atan2(p.y, p.x);
+  const double rho = std::hypot(p.x, p.y);
+  // Bowring-style fixed-point iteration on latitude.
+  double lat = std::atan2(p.z, rho * (1.0 - kEccentricitySq));
+  double alt = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double n = prime_vertical_radius(lat);
+    alt = rho / std::cos(lat) - n;
+    lat = std::atan2(p.z, rho * (1.0 - kEccentricitySq * n / (n + alt)));
+  }
+  return Geodetic{rad_to_deg(lat), rad_to_deg(lon), alt};
+}
+
+Enu to_enu(const Geodetic& reference, const Geodetic& target) noexcept {
+  const Ecef ref = to_ecef(reference);
+  const Ecef tgt = to_ecef(target);
+  const double dx = tgt.x - ref.x;
+  const double dy = tgt.y - ref.y;
+  const double dz = tgt.z - ref.z;
+  const double lat = deg_to_rad(reference.lat_deg);
+  const double lon = deg_to_rad(reference.lon_deg);
+  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+  return Enu{
+      -sin_lon * dx + cos_lon * dy,
+      -sin_lat * cos_lon * dx - sin_lat * sin_lon * dy + cos_lat * dz,
+      cos_lat * cos_lon * dx + cos_lat * sin_lon * dy + sin_lat * dz,
+  };
+}
+
+Geodetic from_enu(const Geodetic& reference, const Enu& local) noexcept {
+  const double lat = deg_to_rad(reference.lat_deg);
+  const double lon = deg_to_rad(reference.lon_deg);
+  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+  const Ecef ref = to_ecef(reference);
+  const Ecef p{
+      ref.x - sin_lon * local.east - sin_lat * cos_lon * local.north +
+          cos_lat * cos_lon * local.up,
+      ref.y + cos_lon * local.east - sin_lat * sin_lon * local.north +
+          cos_lat * sin_lon * local.up,
+      ref.z + cos_lat * local.north + sin_lat * local.up,
+  };
+  return to_geodetic(p);
+}
+
+double haversine_m(const Geodetic& a, const Geodetic& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kMeanRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double slant_range_m(const Geodetic& a, const Geodetic& b) noexcept {
+  const Enu v = to_enu(a, b);
+  return std::sqrt(v.east * v.east + v.north * v.north + v.up * v.up);
+}
+
+double bearing_deg(const Geodetic& from, const Geodetic& to) noexcept {
+  const Enu v = to_enu(from, to);
+  return util::wrap_degrees(rad_to_deg(std::atan2(v.east, v.north)));
+}
+
+double elevation_deg(const Geodetic& observer, const Geodetic& target) noexcept {
+  const Enu v = to_enu(observer, target);
+  const double horizontal = std::hypot(v.east, v.north);
+  return rad_to_deg(std::atan2(v.up, horizontal));
+}
+
+Geodetic destination(const Geodetic& start, double bearing, double distance_m) noexcept {
+  const double ang = distance_m / kMeanRadiusM;
+  const double brg = deg_to_rad(bearing);
+  const double lat1 = deg_to_rad(start.lat_deg);
+  const double lon1 = deg_to_rad(start.lon_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  Geodetic out{rad_to_deg(lat2), rad_to_deg(lon2), start.alt_m};
+  if (out.lon_deg > 180.0) out.lon_deg -= 360.0;
+  if (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
+double radio_horizon_m(double h1_m, double h2_m) noexcept {
+  // d = sqrt(2 k R h) with k = 4/3 effective Earth radius factor.
+  constexpr double kEffectiveRadius = kMeanRadiusM * 4.0 / 3.0;
+  auto leg = [](double h) {
+    return h <= 0.0 ? 0.0 : std::sqrt(2.0 * kEffectiveRadius * h);
+  };
+  return leg(h1_m) + leg(h2_m);
+}
+
+}  // namespace speccal::geo

@@ -1,0 +1,80 @@
+// WGS-84 geodesy: coordinate types and the conversions the simulators need.
+//
+// The air-traffic simulator keeps aircraft in geodetic coordinates; the
+// propagation code needs ranges and bearings relative to a sensor; the CPR
+// codec needs raw lat/lon. Everything here is double precision (sub-metre
+// accuracy over the 100 km ranges the paper uses).
+#pragma once
+
+#include <array>
+
+namespace speccal::geo {
+
+/// WGS-84 ellipsoid constants.
+inline constexpr double kSemiMajorAxisM = 6378137.0;
+inline constexpr double kFlattening = 1.0 / 298.257223563;
+inline constexpr double kSemiMinorAxisM = kSemiMajorAxisM * (1.0 - kFlattening);
+inline constexpr double kEccentricitySq = kFlattening * (2.0 - kFlattening);
+
+/// Mean Earth radius [m] used by the spherical (haversine) approximations.
+inline constexpr double kMeanRadiusM = 6371008.8;
+
+/// Geodetic position: latitude/longitude in degrees, altitude in metres
+/// above the ellipsoid.
+struct Geodetic {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+};
+
+/// Earth-centred Earth-fixed Cartesian coordinates [m].
+struct Ecef {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Local East-North-Up coordinates [m] relative to a reference point.
+struct Enu {
+  double east = 0.0;
+  double north = 0.0;
+  double up = 0.0;
+};
+
+/// Convert geodetic to ECEF (closed form).
+[[nodiscard]] Ecef to_ecef(const Geodetic& g) noexcept;
+
+/// Convert ECEF to geodetic (Bowring's iteration; converges in 2-3 steps).
+[[nodiscard]] Geodetic to_geodetic(const Ecef& p) noexcept;
+
+/// ENU coordinates of `target` in the tangent frame at `reference`.
+[[nodiscard]] Enu to_enu(const Geodetic& reference, const Geodetic& target) noexcept;
+
+/// Inverse of to_enu.
+[[nodiscard]] Geodetic from_enu(const Geodetic& reference, const Enu& local) noexcept;
+
+/// Great-circle surface distance [m] (haversine on the mean sphere).
+[[nodiscard]] double haversine_m(const Geodetic& a, const Geodetic& b) noexcept;
+
+/// 3-D slant range [m] including the altitude difference.
+[[nodiscard]] double slant_range_m(const Geodetic& a, const Geodetic& b) noexcept;
+
+/// Initial great-circle bearing [deg, 0..360) from `from` towards `to`.
+/// 0 = true north, 90 = east.
+[[nodiscard]] double bearing_deg(const Geodetic& from, const Geodetic& to) noexcept;
+
+/// Elevation angle [deg] of `target` seen from `observer` (positive = above
+/// the local horizontal plane).
+[[nodiscard]] double elevation_deg(const Geodetic& observer, const Geodetic& target) noexcept;
+
+/// Point reached by travelling `distance_m` along `bearing` from `start`
+/// on the great circle, keeping `start`'s altitude.
+[[nodiscard]] Geodetic destination(const Geodetic& start, double bearing_deg,
+                                   double distance_m) noexcept;
+
+/// Radio horizon distance [m] for antenna heights `h1_m`, `h2_m` with
+/// standard 4/3-Earth refraction. ADS-B reception beyond this is impossible
+/// regardless of obstructions.
+[[nodiscard]] double radio_horizon_m(double h1_m, double h2_m) noexcept;
+
+}  // namespace speccal::geo

@@ -1,0 +1,67 @@
+// Channel occupancy detection over spectrum sweeps.
+//
+// The regulatory use cases the paper opens with — interference hunting,
+// enforcement, whitespace planning — reduce to "how occupied is each
+// channel, where, and when". Energy detection against a robustly-estimated
+// noise floor, repeated over time, yields per-channel duty cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/scanner.hpp"
+
+namespace speccal::monitor {
+
+/// One logical channel to watch.
+struct Channel {
+  std::string label;
+  double low_hz = 0.0;
+  double high_hz = 0.0;
+};
+
+struct OccupancyConfig {
+  /// A channel counts as occupied when its band power exceeds the expected
+  /// empty-channel power (floor * bins) by this margin.
+  double detection_margin_db = 6.0;
+};
+
+struct ChannelObservation {
+  Channel channel;
+  double power_dbfs = -200.0;
+  double floor_dbfs = -200.0;   // expected empty-channel power
+  double excess_db = 0.0;       // power above the floor
+  bool occupied = false;
+};
+
+/// Energy-detect every channel in one sweep.
+[[nodiscard]] std::vector<ChannelObservation> detect_occupancy(
+    const SweepResult& sweep, const std::vector<Channel>& channels,
+    const OccupancyConfig& config = {});
+
+/// Duty-cycle bookkeeping across repeated sweeps.
+class OccupancyTracker {
+ public:
+  explicit OccupancyTracker(std::vector<Channel> channels,
+                            OccupancyConfig config = {})
+      : channels_(std::move(channels)), config_(config),
+        occupied_counts_(channels_.size(), 0) {}
+
+  void ingest(const SweepResult& sweep);
+
+  /// Fraction of ingested sweeps in which channel `index` was occupied.
+  [[nodiscard]] double duty_cycle(std::size_t index) const noexcept;
+
+  [[nodiscard]] std::size_t sweeps() const noexcept { return sweeps_; }
+  [[nodiscard]] const std::vector<Channel>& channels() const noexcept {
+    return channels_;
+  }
+
+ private:
+  std::vector<Channel> channels_;
+  OccupancyConfig config_;
+  std::vector<std::size_t> occupied_counts_;
+  std::size_t sweeps_ = 0;
+};
+
+}  // namespace speccal::monitor

@@ -1,0 +1,69 @@
+#include "monitor/scanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speccal::monitor {
+
+namespace {
+[[nodiscard]] double to_dbfs(double linear) noexcept {
+  return linear > 1e-20 ? 10.0 * std::log10(linear) : -200.0;
+}
+}  // namespace
+
+double SweepResult::band_power_dbfs(double low_hz, double high_hz) const noexcept {
+  double total = 0.0;
+  bool covered = false;
+  for (const auto& hop : hops) {
+    if (!hop.tune_ok || hop.psd.psd.empty()) continue;
+    const double fs = hop.psd.bin_width_hz * static_cast<double>(hop.psd.psd.size());
+    const double lo = std::max(low_hz, hop.center_hz - fs / 2.0) - hop.center_hz;
+    const double hi = std::min(high_hz, hop.center_hz + fs / 2.0) - hop.center_hz;
+    if (hi <= lo) continue;
+    total += dsp::band_power(hop.psd, fs, lo, hi);
+    covered = true;
+  }
+  return covered ? to_dbfs(total) : -200.0;
+}
+
+double SweepResult::overall_floor_dbfs() const noexcept {
+  std::vector<double> floors;
+  for (const auto& hop : hops)
+    if (hop.tune_ok) floors.push_back(hop.noise_floor_dbfs);
+  if (floors.empty()) return -200.0;
+  const auto mid = floors.begin() + static_cast<std::ptrdiff_t>(floors.size() / 2);
+  std::nth_element(floors.begin(), mid, floors.end());
+  return *mid;
+}
+
+SweepResult SpectrumScanner::sweep(sdr::Device& device, double start_hz,
+                                   double stop_hz) const {
+  SweepResult out;
+  out.start_hz = start_hz;
+  out.stop_hz = stop_hz;
+  if (stop_hz <= start_hz) return out;
+
+  device.set_gain_mode(sdr::GainMode::kManual);
+  device.set_gain_db(config_.gain_db);
+
+  const double usable = config_.usable_fraction * config_.sample_rate_hz;
+  const auto samples_per_hop =
+      static_cast<std::size_t>(config_.dwell_s * config_.sample_rate_hz);
+
+  for (double center = start_hz + usable / 2.0; center - usable / 2.0 < stop_hz;
+       center += usable) {
+    HopResult hop;
+    hop.center_hz = center;
+    hop.tune_ok = device.tune(center, config_.sample_rate_hz);
+    if (hop.tune_ok) {
+      const dsp::Buffer capture = device.capture(samples_per_hop);
+      hop.psd = dsp::welch_psd(capture, config_.sample_rate_hz, config_.welch);
+      hop.noise_floor_dbfs =
+          to_dbfs(dsp::percentile_floor(hop.psd, config_.floor_quantile));
+    }
+    out.hops.push_back(std::move(hop));
+  }
+  return out;
+}
+
+}  // namespace speccal::monitor

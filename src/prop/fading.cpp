@@ -1,0 +1,71 @@
+#include "prop/fading.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace speccal::prop {
+
+namespace {
+/// Map a 64-bit hash to a standard normal variate via inverse-CDF
+/// approximation (Acklam's rational approximation; |error| < 1.15e-9).
+[[nodiscard]] double hash_to_normal(std::uint64_t h) noexcept {
+  // Convert to uniform (0,1), avoiding the exact endpoints.
+  const double u = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (u < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(u));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (u > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - u));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = u - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+[[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b * 0x9E3779B97F4A7C15ull);
+  return speccal::util::splitmix64(s);
+}
+}  // namespace
+
+double FadingModel::shadowing_db(std::uint64_t emitter_id, double azimuth_deg,
+                                 double distance_m) const noexcept {
+  if (shadow_sigma_db_ <= 0.0) return 0.0;
+  // Quantize geometry so that nearby positions share the shadowing value
+  // (spatially correlated shadowing with ~2 deg / ~1 km decorrelation).
+  const auto az_bucket = static_cast<std::uint64_t>(azimuth_deg / 2.0 + 720.0);
+  const auto rg_bucket = static_cast<std::uint64_t>(distance_m / 1000.0);
+  const std::uint64_t h =
+      mix(mix(seed_, emitter_id), mix(az_bucket, rg_bucket * 0x517CC1B727220A95ull));
+  return shadow_sigma_db_ * hash_to_normal(h);
+}
+
+double FadingModel::fast_fading_db(std::uint64_t emitter_id,
+                                   std::uint64_t message_index) const noexcept {
+  if (fast_sigma_db_ <= 0.0) return 0.0;
+  const std::uint64_t h = mix(mix(seed_ ^ 0xABCDEF1234567890ull, emitter_id),
+                              message_index * 0x2545F4914F6CDD1Dull);
+  return fast_sigma_db_ * hash_to_normal(h);
+}
+
+}  // namespace speccal::prop

@@ -1,0 +1,52 @@
+#include "prop/linkbudget.hpp"
+
+#include <algorithm>
+
+namespace speccal::prop {
+
+LinkResult evaluate_link(const LinkInput& in, const LinkParams& params,
+                         const ObstructionMap* obstructions,
+                         const FadingModel* fading) noexcept {
+  LinkResult out;
+  out.distance_m = geo::slant_range_m(in.receiver, in.transmitter);
+  out.azimuth_deg = geo::bearing_deg(in.receiver, in.transmitter);
+  out.elevation_deg = geo::elevation_deg(in.receiver, in.transmitter);
+
+  switch (params.model) {
+    case PathModel::kFreeSpace:
+      out.path_loss_db = free_space_path_loss_db(out.distance_m, in.freq_hz);
+      break;
+    case PathModel::kLogDistance:
+      out.path_loss_db =
+          log_distance_path_loss_db(out.distance_m, in.freq_hz, params.exponent);
+      break;
+    case PathModel::kTwoSlope:
+      out.path_loss_db = two_slope_path_loss_db(out.distance_m, in.freq_hz, params.n1,
+                                                params.n2, params.breakpoint_m);
+      break;
+  }
+
+  if (obstructions != nullptr)
+    out.obstruction_db =
+        obstructions->loss_db(out.azimuth_deg, out.elevation_deg, in.freq_hz);
+  if (fading != nullptr) {
+    out.shadowing_db = fading->shadowing_db(in.emitter_id, out.azimuth_deg, out.distance_m);
+    out.fast_fading_db = fading->fast_fading_db(in.emitter_id, in.message_index);
+  }
+
+  out.rx_power_dbm = in.tx_power_dbm + in.rx_antenna_gain_dbi - out.path_loss_db -
+                     out.obstruction_db + out.shadowing_db + out.fast_fading_db;
+
+  // Radio horizon check uses the ground distance and both altitudes above
+  // local ground (approximated by the altitude fields themselves).
+  const double horizon =
+      geo::radio_horizon_m(std::max(1.0, in.receiver.alt_m),
+                           std::max(1.0, in.transmitter.alt_m));
+  if (geo::haversine_m(in.receiver, in.transmitter) > horizon) {
+    out.beyond_radio_horizon = true;
+    out.rx_power_dbm -= 60.0;
+  }
+  return out;
+}
+
+}  // namespace speccal::prop

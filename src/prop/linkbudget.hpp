@@ -1,0 +1,64 @@
+// Link budget evaluation: ties together emitter, geometry, path loss,
+// obstructions, fading and the receive antenna into a received power.
+//
+// Every simulated signal source (aircraft squitter, cell tower, TV tower)
+// computes its power at the sensor through this one function, so the
+// calibration pipeline sees a consistent world.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "geo/wgs84.hpp"
+#include "prop/fading.hpp"
+#include "prop/obstruction.hpp"
+#include "prop/pathloss.hpp"
+
+namespace speccal::prop {
+
+/// Which large-scale model to use for the link.
+enum class PathModel {
+  kFreeSpace,    // LOS air-to-ground
+  kLogDistance,  // urban terrestrial
+  kTwoSlope,     // broadcast with breakpoint
+};
+
+struct LinkParams {
+  PathModel model = PathModel::kFreeSpace;
+  double exponent = 2.0;        // log-distance exponent (kLogDistance)
+  double n1 = 2.0;              // two-slope near exponent
+  double n2 = 3.5;              // two-slope far exponent
+  double breakpoint_m = 5000.0; // two-slope breakpoint
+};
+
+struct LinkInput {
+  geo::Geodetic transmitter;
+  geo::Geodetic receiver;
+  double freq_hz = 1090e6;
+  double tx_power_dbm = 50.0;  // EIRP toward the receiver
+  double rx_antenna_gain_dbi = 0.0;
+  std::uint64_t emitter_id = 0;    // for deterministic fading
+  std::uint64_t message_index = 0; // for per-message fast fading
+};
+
+struct LinkResult {
+  double distance_m = 0.0;
+  double azimuth_deg = 0.0;    // bearing from receiver to transmitter
+  double elevation_deg = 0.0;  // elevation of transmitter at receiver
+  double path_loss_db = 0.0;
+  double obstruction_db = 0.0;
+  double shadowing_db = 0.0;
+  double fast_fading_db = 0.0;
+  double rx_power_dbm = 0.0;
+  bool beyond_radio_horizon = false;
+};
+
+/// Evaluate the full budget. `obstructions` and `fading` may be null for an
+/// ideal link. When the transmitter is beyond the radio horizon the result
+/// reports `beyond_radio_horizon` and an rx power pushed 60 dB below the
+/// horizon-free value (diffraction remnant, effectively undecodable).
+[[nodiscard]] LinkResult evaluate_link(const LinkInput& in, const LinkParams& params,
+                                       const ObstructionMap* obstructions,
+                                       const FadingModel* fading) noexcept;
+
+}  // namespace speccal::prop

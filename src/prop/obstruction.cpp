@@ -1,0 +1,80 @@
+#include "prop/obstruction.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace speccal::prop {
+
+namespace {
+/// Frequency shaping shared by screens and the omni term: `base` dB at
+/// 1 GHz plus `slope` dB per decade of frequency.
+[[nodiscard]] double shaped_loss_db(double base_db, double slope_db_per_decade,
+                                    double freq_hz) noexcept {
+  const double decades = std::log10(std::max(freq_hz, 1e7) / 1e9);
+  return std::max(0.0, base_db + slope_db_per_decade * decades);
+}
+}  // namespace
+
+double Screen::loss_db(double freq_hz) const noexcept {
+  return shaped_loss_db(loss_at_1ghz_db, loss_slope_db_per_decade, freq_hz);
+}
+
+double ObstructionMap::loss_db(double azimuth_deg, double elevation_deg,
+                               double freq_hz) const noexcept {
+  double total = shaped_loss_db(omni_loss_at_1ghz_db_, omni_slope_db_per_decade_, freq_hz);
+  for (const auto& screen : screens_) {
+    if (elevation_deg > screen.max_elevation_deg) continue;
+    if (!screen.sector.contains(azimuth_deg)) continue;
+    total += screen.loss_db(freq_hz);
+  }
+  // Multipath/penetration leakage caps the achievable blockage.
+  return std::min(total, leakage_ceiling_db_);
+}
+
+geo::SectorSet ObstructionMap::obstructed_sectors(double freq_hz,
+                                                  double threshold_db) const {
+  geo::SectorSet out;
+  for (const auto& screen : screens_)
+    if (screen.loss_db(freq_hz) >= threshold_db) out.add(screen.sector);
+  return out;
+}
+
+geo::SectorSet ObstructionMap::clear_sectors(double freq_hz, double threshold_db) const {
+  // Sample the horizon at 1-degree resolution, then merge runs of clear
+  // azimuths into maximal sectors (handling wrap through north).
+  constexpr int kSamples = 360;
+  std::array<bool, kSamples> clear{};
+  const double omni = shaped_loss_db(omni_loss_at_1ghz_db_, omni_slope_db_per_decade_, freq_hz);
+  for (int az = 0; az < kSamples; ++az) {
+    double loss = omni;
+    for (const auto& screen : screens_)
+      if (screen.sector.contains(static_cast<double>(az)))
+        loss += screen.loss_db(freq_hz);
+    clear[static_cast<std::size_t>(az)] = loss < threshold_db;
+  }
+
+  geo::SectorSet out;
+  // Find run starts: clear[i] && !clear[i-1].
+  bool any_blocked = false;
+  for (bool c : clear) any_blocked |= !c;
+  if (!any_blocked) {
+    out.add(geo::Sector{0.0, 0.0});  // full circle
+    return out;
+  }
+  for (int i = 0; i < kSamples; ++i) {
+    const int prev = (i + kSamples - 1) % kSamples;
+    if (clear[static_cast<std::size_t>(i)] && !clear[static_cast<std::size_t>(prev)]) {
+      int j = i;
+      int len = 0;
+      while (clear[static_cast<std::size_t>(j)] && len < kSamples) {
+        j = (j + 1) % kSamples;
+        ++len;
+      }
+      out.add(geo::Sector{static_cast<double>(i), static_cast<double>((i + len) % kSamples)});
+    }
+  }
+  return out;
+}
+
+}  // namespace speccal::prop

@@ -1,0 +1,95 @@
+#include "prop/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace speccal::prop {
+
+double free_space_path_loss_db(double distance_m, double freq_hz) noexcept {
+  const double d = std::max(distance_m, 1.0);
+  // 20 log10(4 pi d f / c)
+  return 20.0 * std::log10(4.0 * 3.14159265358979323846 * d * freq_hz /
+                           util::kSpeedOfLight);
+}
+
+double log_distance_path_loss_db(double distance_m, double freq_hz, double exponent,
+                                 double reference_m) noexcept {
+  const double d = std::max(distance_m, reference_m);
+  return free_space_path_loss_db(reference_m, freq_hz) +
+         10.0 * exponent * std::log10(d / reference_m);
+}
+
+double two_slope_path_loss_db(double distance_m, double freq_hz, double n1, double n2,
+                              double breakpoint_m) noexcept {
+  constexpr double kReferenceM = 100.0;
+  const double d = std::max(distance_m, kReferenceM);
+  const double base = free_space_path_loss_db(kReferenceM, freq_hz);
+  if (d <= breakpoint_m)
+    return base + 10.0 * n1 * std::log10(d / kReferenceM);
+  return base + 10.0 * n1 * std::log10(breakpoint_m / kReferenceM) +
+         10.0 * n2 * std::log10(d / breakpoint_m);
+}
+
+namespace {
+/// Shared Hata kernel; the suburban variant subtracts its correction.
+[[nodiscard]] double hata_kernel_db(double distance_m, double freq_hz,
+                                    double base_height_m,
+                                    double mobile_height_m) noexcept {
+  const double f_mhz = std::clamp(freq_hz / 1e6, 150.0, 1500.0);
+  const double d_km = std::clamp(distance_m / 1e3, 1.0, 20.0);
+  const double hb = std::clamp(base_height_m, 30.0, 200.0);
+  const double hm = std::clamp(mobile_height_m, 1.0, 10.0);
+  // Small/medium-city mobile antenna correction a(hm).
+  const double a_hm = (1.1 * std::log10(f_mhz) - 0.7) * hm -
+                      (1.56 * std::log10(f_mhz) - 0.8);
+  return 69.55 + 26.16 * std::log10(f_mhz) - 13.82 * std::log10(hb) - a_hm +
+         (44.9 - 6.55 * std::log10(hb)) * std::log10(d_km);
+}
+}  // namespace
+
+double hata_urban_path_loss_db(double distance_m, double freq_hz,
+                               double base_height_m,
+                               double mobile_height_m) noexcept {
+  return hata_kernel_db(distance_m, freq_hz, base_height_m, mobile_height_m);
+}
+
+double hata_suburban_path_loss_db(double distance_m, double freq_hz,
+                                  double base_height_m,
+                                  double mobile_height_m) noexcept {
+  const double f_mhz = std::clamp(freq_hz / 1e6, 150.0, 1500.0);
+  const double k = std::log10(f_mhz / 28.0);
+  return hata_kernel_db(distance_m, freq_hz, base_height_m, mobile_height_m) -
+         2.0 * k * k - 5.4;
+}
+
+double building_entry_loss_db(double freq_hz, BuildingClass cls) noexcept {
+  // ITU-R P.2109 median horizontal-path entry loss:
+  //   L = r + s*log10(f) + t*log10(f)^2, f in GHz.
+  const double lf = std::log10(std::max(freq_hz, 1e8) / 1e9);
+  double r, s, t;
+  if (cls == BuildingClass::kTraditional) {
+    r = 12.64;
+    s = 3.72;
+    t = 0.96;
+  } else {
+    r = 28.19;
+    s = -3.00;
+    t = 8.48;
+  }
+  return std::max(0.0, r + s * lf + t * lf * lf);
+}
+
+double window_penetration_loss_db(double freq_hz) noexcept {
+  // Standard glass: a few dB at UHF rising gently with frequency
+  // (coated/IRR glass would be far worse; we model plain glass).
+  const double f_ghz = std::max(freq_hz, 1e8) / 1e9;
+  return 2.5 + 2.0 * std::log10(f_ghz + 1.0);
+}
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept {
+  return util::thermal_noise_dbm(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace speccal::prop

@@ -1,0 +1,60 @@
+// Path-loss models.
+//
+// Three models cover the paper's links:
+//   * free space        — ADS-B air-to-ground (line of sight, 1090 MHz)
+//   * log-distance      — urban cellular downlink (exponent ~3 near ground)
+//   * two-slope         — TV broadcast (LOS near the tower, steeper beyond
+//                         a breakpoint), a common empirical VHF/UHF fit
+// plus frequency-dependent building-entry loss (simplified ITU-R P.2109)
+// that produces the paper's central observation: 700 MHz penetrates
+// buildings far better than 2 GHz+.
+#pragma once
+
+namespace speccal::prop {
+
+/// Free-space path loss [dB] at `distance_m`, `freq_hz`. Distances below
+/// 1 m are clamped to 1 m to keep the model defined at the antenna.
+[[nodiscard]] double free_space_path_loss_db(double distance_m, double freq_hz) noexcept;
+
+/// Log-distance model: FSPL at `reference_m` plus 10*n*log10(d/d0).
+[[nodiscard]] double log_distance_path_loss_db(double distance_m, double freq_hz,
+                                               double exponent,
+                                               double reference_m = 100.0) noexcept;
+
+/// Two-slope model: exponent `n1` out to `breakpoint_m`, `n2` beyond.
+[[nodiscard]] double two_slope_path_loss_db(double distance_m, double freq_hz,
+                                            double n1, double n2,
+                                            double breakpoint_m) noexcept;
+
+/// Okumura-Hata urban macro-cell model (the classical empirical fit the
+/// cellmapper-style coverage figures the paper cites are built on).
+/// Valid 150-1500 MHz, 1-20 km, base antenna 30-200 m, mobile 1-10 m;
+/// inputs are clamped into that envelope.
+[[nodiscard]] double hata_urban_path_loss_db(double distance_m, double freq_hz,
+                                             double base_height_m,
+                                             double mobile_height_m) noexcept;
+
+/// Hata with the standard suburban correction (lower clutter).
+[[nodiscard]] double hata_suburban_path_loss_db(double distance_m, double freq_hz,
+                                                double base_height_m,
+                                                double mobile_height_m) noexcept;
+
+/// Building construction classes for entry-loss modelling.
+enum class BuildingClass {
+  kTraditional,        // brick/wood, moderate loss
+  kThermallyEfficient  // metallised glass / foil insulation, high loss
+};
+
+/// Median building-entry loss [dB] at `freq_hz` (simplified ITU-R P.2109
+/// horizontal-path median: r + s*log10(f_GHz) + t*log10(f_GHz)^2).
+/// Captures the strong frequency dependence the paper exploits.
+[[nodiscard]] double building_entry_loss_db(double freq_hz, BuildingClass cls) noexcept;
+
+/// Single exterior-wall / window penetration loss [dB] — lighter than full
+/// building entry; used for the "behind a window" site.
+[[nodiscard]] double window_penetration_loss_db(double freq_hz) noexcept;
+
+/// Thermal noise floor [dBm] for `bandwidth_hz` and receiver noise figure.
+[[nodiscard]] double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept;
+
+}  // namespace speccal::prop

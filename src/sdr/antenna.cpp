@@ -1,0 +1,81 @@
+#include "sdr/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace speccal::sdr {
+
+AntennaModel::AntennaModel(std::string name, std::vector<ResponsePoint> response,
+                           double rolloff_db_per_octave)
+    : name_(std::move(name)), response_(std::move(response)),
+      rolloff_db_per_octave_(rolloff_db_per_octave) {
+  if (response_.empty())
+    throw std::invalid_argument("AntennaModel: empty frequency response");
+  if (!std::is_sorted(response_.begin(), response_.end(),
+                      [](const auto& a, const auto& b) { return a.freq_hz < b.freq_hz; }))
+    throw std::invalid_argument("AntennaModel: response must be sorted by frequency");
+}
+
+AntennaModel AntennaModel::isotropic() {
+  return AntennaModel("isotropic", {{1e6, 0.0}, {100e9, 0.0}}, 0.0);
+}
+
+AntennaModel AntennaModel::wideband_700_2700() {
+  return AntennaModel("wideband-700-2700",
+                      {
+                          {200e6, -8.0},   // usable but poor below rating
+                          {500e6, -3.0},
+                          {700e6, 2.0},    // rated band starts
+                          {1090e6, 2.5},   // tuned near ADS-B
+                          {1800e6, 2.0},
+                          {2700e6, 1.5},   // rated band ends
+                          {3500e6, -6.0},  // degrading
+                      },
+                      15.0);
+}
+
+AntennaModel AntennaModel::attenuated(const AntennaModel& base, double extra_loss_db) {
+  AntennaModel out = base;
+  out.name_ = base.name_ + "+loss";
+  for (auto& p : out.response_) p.gain_dbi -= extra_loss_db;
+  return out;
+}
+
+double AntennaModel::gain_dbi(double freq_hz, double azimuth_deg) const noexcept {
+  double gain;
+  if (freq_hz <= response_.front().freq_hz) {
+    const double octaves = std::log2(response_.front().freq_hz / std::max(freq_hz, 1e6));
+    gain = response_.front().gain_dbi - rolloff_db_per_octave_ * octaves;
+  } else if (freq_hz >= response_.back().freq_hz) {
+    const double octaves = std::log2(freq_hz / response_.back().freq_hz);
+    gain = response_.back().gain_dbi - rolloff_db_per_octave_ * octaves;
+  } else {
+    // Linear interpolation in log-frequency.
+    auto upper = std::lower_bound(
+        response_.begin(), response_.end(), freq_hz,
+        [](const ResponsePoint& p, double f) { return p.freq_hz < f; });
+    auto lower = upper - 1;
+    const double t = (std::log10(freq_hz) - std::log10(lower->freq_hz)) /
+                     (std::log10(upper->freq_hz) - std::log10(lower->freq_hz));
+    gain = lower->gain_dbi + t * (upper->gain_dbi - lower->gain_dbi);
+  }
+
+  if (directional_) {
+    // Cardioid-like: gain falls smoothly from peak azimuth to the back.
+    const double delta = util::angular_distance_deg(azimuth_deg, peak_azimuth_deg_);
+    const double back_fraction = (1.0 - std::cos(util::deg_to_rad(delta))) / 2.0;
+    gain -= front_to_back_db_ * back_fraction;
+  }
+  return gain;
+}
+
+void AntennaModel::set_directional(double peak_azimuth_deg, double front_to_back_db) noexcept {
+  directional_ = true;
+  peak_azimuth_deg_ = peak_azimuth_deg;
+  front_to_back_db_ = front_to_back_db;
+}
+
+}  // namespace speccal::sdr

@@ -1,0 +1,70 @@
+// SDR device abstraction.
+//
+// The calibration pipeline talks only to this interface; the repository
+// ships `SimulatedSdr`, and a hardware-backed implementation (BladeRF,
+// RTL-SDR, ...) could be added without touching the pipeline. The interface
+// mirrors the subset of SoapySDR-style functionality the paper's
+// measurements require: tune, set gain or AGC, stream I/Q.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dsp/iq.hpp"
+
+namespace speccal::sdr {
+
+enum class GainMode {
+  kManual,  // paper's TV measurement: fixed gain so readings are comparable
+  kAgc,     // automatic gain control
+};
+
+/// Static capabilities reported by a device (what an operator *claims*
+/// versus what the calibration pipeline verifies).
+struct DeviceInfo {
+  std::string driver;
+  double min_freq_hz = 0.0;
+  double max_freq_hz = 0.0;
+  double max_sample_rate_hz = 0.0;
+  double noise_figure_db = 7.0;
+  double full_scale_input_dbm = 0.0;  // input power that hits ADC full scale at 0 dB gain
+  int adc_bits = 12;
+  /// Reference-oscillator error [parts per million]. Cheap SDR TCXOs are a
+  /// few ppm off; at 1 GHz each ppm shifts the tuned frequency by 1 kHz.
+  /// The LO calibration module (calib/lo_calibration.hpp) estimates this
+  /// from broadcast pilots, like kalibrate-rtl does from GSM.
+  double lo_error_ppm = 0.0;
+  /// Loss between antenna port and LNA [dB] — a damaged feedline or
+  /// corroded connector. Attenuates every received signal (but not the
+  /// receiver's own thermal noise); invisible to link-budget expectations,
+  /// which is exactly why the calibration has to detect it empirically.
+  double frontend_loss_db = 0.0;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  [[nodiscard]] virtual DeviceInfo info() const = 0;
+
+  /// Tune the front end. Returns false if the device cannot reach
+  /// `center_freq_hz` or `sample_rate_hz` (pipeline records the failure).
+  virtual bool tune(double center_freq_hz, double sample_rate_hz) = 0;
+
+  virtual void set_gain_mode(GainMode mode) = 0;
+  virtual void set_gain_db(double gain_db) = 0;
+  [[nodiscard]] virtual double gain_db() const = 0;
+
+  /// Capture `count` I/Q samples starting at the device's current stream
+  /// time. Advances stream time by count / sample_rate.
+  [[nodiscard]] virtual dsp::Buffer capture(std::size_t count) = 0;
+
+  /// Current stream time [s] since device creation.
+  [[nodiscard]] virtual double stream_time_s() const = 0;
+
+  [[nodiscard]] virtual double center_freq_hz() const = 0;
+  [[nodiscard]] virtual double sample_rate_hz() const = 0;
+};
+
+}  // namespace speccal::sdr

@@ -1,0 +1,85 @@
+#include "sdr/emitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/nco.hpp"
+#include "util/units.hpp"
+
+namespace speccal::sdr {
+
+double FixedEmitterSource::received_power_dbm(const RxEnvironment& rx) const noexcept {
+  prop::LinkInput link;
+  link.transmitter = config_.position;
+  link.receiver = rx.position;
+  link.freq_hz = config_.carrier_hz;
+  link.tx_power_dbm = config_.eirp_dbm;
+  link.emitter_id = config_.emitter_id;
+  if (rx.antenna != nullptr) {
+    const double az = geo::bearing_deg(rx.position, config_.position);
+    link.rx_antenna_gain_dbi = rx.antenna->gain_dbi(config_.carrier_hz, az);
+  }
+  return prop::evaluate_link(link, config_.link, rx.obstructions, rx.fading)
+      .rx_power_dbm;
+}
+
+void FixedEmitterSource::render(const CaptureContext& ctx,
+                                std::span<dsp::Sample> accum) {
+  // Channel placement in baseband.
+  const double offset = config_.carrier_hz - ctx.center_freq_hz;
+  const double low = offset - config_.bandwidth_hz / 2.0;
+  const double high = offset + config_.bandwidth_hz / 2.0;
+  // Entirely outside the capture? Nothing to add.
+  if (high < -ctx.sample_rate_hz / 2.0 || low > ctx.sample_rate_hz / 2.0) return;
+
+  const double rx_power_dbm = received_power_dbm(*ctx.rx);
+  const double target_mw = util::dbm_to_watts(rx_power_dbm) * 1e3;
+  if (target_mw < 1e-18) return;
+
+  // (Re)build the channel shaping filter for the current tuning.
+  const double clipped_low = std::max(low, -ctx.sample_rate_hz / 2.0 * 0.98);
+  const double clipped_high = std::min(high, ctx.sample_rate_hz / 2.0 * 0.98);
+  if (clipped_high <= clipped_low) return;
+  const FilterKey key{ctx.sample_rate_hz, clipped_low, clipped_high};
+  if (shaper_ == nullptr || !(key == filter_key_)) {
+    shaper_ = std::make_unique<dsp::FirFilter>(
+        dsp::design_bandpass(ctx.sample_rate_hz, clipped_low, clipped_high, 127));
+    filter_key_ = key;
+  } else {
+    shaper_->reset();
+  }
+
+  // White noise -> channel shape. The block is normalized to the exact
+  // target power afterwards, so the filter's gain shape does not matter.
+  const std::size_t n = accum.size();
+  dsp::Buffer white(n);
+  for (auto& s : white)
+    s = dsp::Sample(static_cast<float>(rng_.normal()), static_cast<float>(rng_.normal()));
+  dsp::Buffer shaped = shaper_->filter(white);
+
+  double fraction_in_band = 1.0;
+  if (config_.pilot_offset_hz) fraction_in_band = 1.0 - util::db_to_ratio(config_.pilot_rel_db);
+
+  const double shaped_power = dsp::mean_power(shaped);
+  if (shaped_power <= 0.0) return;
+  const float scale =
+      static_cast<float>(std::sqrt(target_mw * fraction_in_band / shaped_power));
+  for (std::size_t i = 0; i < n; ++i) accum[i] += shaped[i] * scale;
+
+  // Pilot tone (ATSC-style), placed relative to the carrier.
+  if (config_.pilot_offset_hz) {
+    const double pilot_freq = offset + *config_.pilot_offset_hz;
+    if (pilot_freq > -ctx.sample_rate_hz / 2.0 && pilot_freq < ctx.sample_rate_hz / 2.0) {
+      const double pilot_mw = target_mw * util::db_to_ratio(config_.pilot_rel_db);
+      const float amp = static_cast<float>(std::sqrt(pilot_mw));
+      dsp::Nco nco(pilot_freq, ctx.sample_rate_hz);
+      // Deterministic start phase tied to capture time keeps renders
+      // continuous across adjacent buffers.
+      nco.set_phase(2.0 * 3.14159265358979323846 *
+                    std::fmod(pilot_freq * ctx.start_time_s, 1.0));
+      for (std::size_t i = 0; i < n; ++i) accum[i] += nco.next() * amp;
+    }
+  }
+}
+
+}  // namespace speccal::sdr

@@ -1,0 +1,29 @@
+#include "tv/channels.hpp"
+
+namespace speccal::tv {
+
+std::optional<double> channel_lower_edge_hz(int ch) noexcept {
+  // VHF-low 2-4: 54-72, 5-6: 76-88; VHF-high 7-13: 174-216;
+  // UHF 14-36: 470-608 (post-2020 repack ends at channel 36).
+  if (ch >= 2 && ch <= 4) return 54e6 + (ch - 2) * kChannelWidthHz;
+  if (ch >= 5 && ch <= 6) return 76e6 + (ch - 5) * kChannelWidthHz;
+  if (ch >= 7 && ch <= 13) return 174e6 + (ch - 7) * kChannelWidthHz;
+  if (ch >= 14 && ch <= 36) return 470e6 + (ch - 14) * kChannelWidthHz;
+  return std::nullopt;
+}
+
+std::optional<double> channel_center_hz(int ch) noexcept {
+  const auto edge = channel_lower_edge_hz(ch);
+  if (!edge) return std::nullopt;
+  return *edge + kChannelWidthHz / 2.0;
+}
+
+std::optional<int> channel_for_frequency(double freq_hz) noexcept {
+  for (int ch = 2; ch <= 36; ++ch) {
+    const auto edge = channel_lower_edge_hz(ch);
+    if (edge && freq_hz >= *edge && freq_hz < *edge + kChannelWidthHz) return ch;
+  }
+  return std::nullopt;
+}
+
+}  // namespace speccal::tv

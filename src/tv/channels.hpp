@@ -1,0 +1,47 @@
+// ATSC broadcast television RF channel plan (post-repack, channels 2-36)
+// and broadcast station descriptors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "geo/wgs84.hpp"
+
+namespace speccal::tv {
+
+/// Width of every ATSC channel.
+inline constexpr double kChannelWidthHz = 6e6;
+
+/// 8VSB pilot offset above the lower channel edge.
+inline constexpr double kPilotOffsetHz = 309441.0;
+
+/// The same pilot expressed relative to the channel centre (the form signal
+/// synthesizers need): 309.441 kHz above the edge = 2.690559 MHz below centre.
+inline constexpr double kPilotOffsetFromCenterHz = kPilotOffsetHz - kChannelWidthHz / 2.0;
+
+/// Pilot power relative to total signal power.
+inline constexpr double kPilotRelDb = -11.3;
+
+/// Lower edge frequency of RF channel `ch` (2..36); nullopt outside plan.
+[[nodiscard]] std::optional<double> channel_lower_edge_hz(int ch) noexcept;
+
+/// Centre frequency of RF channel `ch`.
+[[nodiscard]] std::optional<double> channel_center_hz(int ch) noexcept;
+
+/// RF channel containing `freq_hz`; nullopt if between bands.
+[[nodiscard]] std::optional<int> channel_for_frequency(double freq_hz) noexcept;
+
+/// One full-power broadcast station.
+struct BroadcastStation {
+  std::string callsign;
+  int rf_channel = 14;
+  geo::Geodetic position;       // transmitter site (alt = radiator height, m)
+  double erp_dbm = 86.0;        // effective radiated power (~400 kW UHF)
+
+  [[nodiscard]] double center_hz() const noexcept {
+    return channel_center_hz(rf_channel).value_or(0.0);
+  }
+};
+
+}  // namespace speccal::tv

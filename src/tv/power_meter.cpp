@@ -1,0 +1,57 @@
+#include "tv/power_meter.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace speccal::tv {
+
+ChannelPowerReading PowerMeter::measure_channel(sdr::Device& device,
+                                                int rf_channel) const {
+  ChannelPowerReading out;
+  out.rf_channel = rf_channel;
+  const auto center = channel_center_hz(rf_channel);
+  if (!center) return out;
+  out.center_hz = *center;
+
+  device.set_gain_mode(sdr::GainMode::kManual);
+  device.set_gain_db(config_.fixed_gain_db);
+  if (!device.tune(*center, config_.sample_rate_hz)) return out;
+  out.tune_ok = true;
+
+  const auto count =
+      static_cast<std::size_t>(config_.capture_duration_s * config_.sample_rate_hz);
+  const dsp::Buffer capture = device.capture(count);
+
+  // Band-pass the measurement bandwidth around the (baseband-centred) channel.
+  dsp::FirFilter filter(dsp::design_bandpass(config_.sample_rate_hz,
+                                             -config_.measure_bandwidth_hz / 2.0,
+                                             config_.measure_bandwidth_hz / 2.0,
+                                             config_.filter_taps));
+  const dsp::Buffer filtered = filter.filter(capture);
+
+  // |x|^2 through a long moving average (Parseval: time-domain power equals
+  // the in-band spectral power after the band-pass).
+  const std::size_t warmup = config_.filter_taps;
+  if (filtered.size() <= warmup) return out;
+  dsp::MovingAverage avg(filtered.size() - warmup);
+  double mean = 0.0;
+  for (std::size_t i = warmup; i < filtered.size(); ++i)
+    mean = avg.push(static_cast<double>(std::norm(filtered[i])));
+  out.samples_used = filtered.size() - warmup;
+
+  out.power_dbfs = mean > 1e-20 ? 10.0 * std::log10(mean) : -200.0;
+  // Refer back to the antenna port: dBm = dBFS - gain + full-scale input.
+  out.power_dbm = out.power_dbfs - device.gain_db() + device.info().full_scale_input_dbm;
+  return out;
+}
+
+std::vector<ChannelPowerReading> PowerMeter::sweep(sdr::Device& device,
+                                                   const std::vector<int>& channels) const {
+  std::vector<ChannelPowerReading> out;
+  out.reserve(channels.size());
+  for (int ch : channels) out.push_back(measure_channel(device, ch));
+  return out;
+}
+
+}  // namespace speccal::tv

@@ -1,0 +1,58 @@
+// Broadcast-TV channel power meter — the paper's GNU Radio measurement.
+//
+// Pipeline (quoting §3.2): fixed SDR gain (no AGC), band-pass filter the
+// desired ATSC channel, then "apply Parseval's identity" by running the
+// magnitude-squared time-domain samples through a very long moving-average
+// filter. The result is reported in dBFS, as in Figure 4.
+#pragma once
+
+#include <vector>
+
+#include "dsp/fir.hpp"
+#include "sdr/device.hpp"
+#include "tv/channels.hpp"
+
+namespace speccal::tv {
+
+struct PowerMeterConfig {
+  double sample_rate_hz = 8e6;     // must cover one 6 MHz channel
+  double fixed_gain_db = 20.0;     // paper: fixed to keep readings comparable.
+                                   // Low enough that strong locals don't clip,
+                                   // high enough that weak channels stay above
+                                   // the ADC quantization floor.
+  std::size_t filter_taps = 129;
+  /// Capture length [s]; the moving average spans the whole capture minus
+  /// the filter warm-up.
+  double capture_duration_s = 0.02;
+  /// Pass-band width measured inside the channel (8VSB occupies ~5.38 MHz).
+  double measure_bandwidth_hz = 5.38e6;
+};
+
+struct ChannelPowerReading {
+  int rf_channel = 0;
+  double center_hz = 0.0;
+  double power_dbfs = -200.0;   // what Figure 4 plots
+  double power_dbm = -200.0;    // referred to the antenna port via gain
+  bool tune_ok = false;
+  std::size_t samples_used = 0;
+};
+
+/// Measures one or more ATSC channels through a Device (simulated or real).
+class PowerMeter {
+ public:
+  explicit PowerMeter(PowerMeterConfig config = {}) : config_(config) {}
+
+  /// Tune, capture, filter, integrate. The device is left in manual gain.
+  [[nodiscard]] ChannelPowerReading measure_channel(sdr::Device& device, int rf_channel) const;
+
+  /// Sweep a list of channels.
+  [[nodiscard]] std::vector<ChannelPowerReading> sweep(sdr::Device& device,
+                                                       const std::vector<int>& channels) const;
+
+  [[nodiscard]] const PowerMeterConfig& config() const noexcept { return config_; }
+
+ private:
+  PowerMeterConfig config_;
+};
+
+}  // namespace speccal::tv

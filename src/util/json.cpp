@@ -1,0 +1,117 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace speccal::util {
+
+void JsonWriter::before_value() {
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject && !pending_key_)
+      throw std::logic_error("JsonWriter: value inside object requires key()");
+    if (stack_.back() == Scope::kArray) {
+      if (!first_in_scope_.back()) os_ << ',';
+      first_in_scope_.back() = false;
+    }
+  } else if (emitted_) {
+    throw std::logic_error("JsonWriter: multiple top-level values");
+  }
+  pending_key_ = false;
+  emitted_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || pending_key_)
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  os_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray)
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  os_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || pending_key_)
+    throw std::logic_error("JsonWriter: key() only valid directly inside an object");
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  write_escaped(name);
+  os_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+}
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (std::isnan(number) || std::isinf(number)) {
+    os_ << "null";  // JSON has no NaN; reports treat null as "not measured".
+    return;
+  }
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << number;
+  os_ << tmp.str();
+}
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  os_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  os_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  os_ << '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          os_ << ch;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+}  // namespace speccal::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace speccal::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+      os << (c + 1 < cells.size() ? "," : "\n");
+    }
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int decimals, const std::string& nan_text) {
+  if (std::isnan(value)) return nan_text;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string ascii_bar(double value, double lo, double hi, int width) {
+  if (std::isnan(value) || hi <= lo || width <= 0) return {};
+  const double frac = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+  return std::string(static_cast<std::size_t>(std::lround(frac * width)), '#');
+}
+
+}  // namespace speccal::util

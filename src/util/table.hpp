@@ -1,0 +1,45 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every figure-reproduction binary prints the rows/series the paper reports;
+// Table keeps that output aligned and machine-greppable (also exports CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace speccal::util {
+
+/// Column-aligned ASCII table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing separators).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals ("-93.41"); NaN renders as `nan_text`.
+[[nodiscard]] std::string format_fixed(double value, int decimals,
+                                       const std::string& nan_text = "-");
+
+/// Render a horizontal bar of `#` glyphs scaled so `full_scale` = `width`.
+/// Used by the figure benches to sketch the paper's bar charts in text.
+[[nodiscard]] std::string ascii_bar(double value, double lo, double hi, int width);
+
+}  // namespace speccal::util

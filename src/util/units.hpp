@@ -1,0 +1,105 @@
+// Units and dB arithmetic used throughout the library.
+//
+// Power quantities appear in three reference frames:
+//   * dBm  — absolute power referenced to 1 mW (link budgets, RSRP).
+//   * dBFS — power relative to the ADC full scale (what a fixed-gain SDR
+//            reports; the paper's Figure 4 uses this).
+//   * dB   — dimensionless ratios (gains, losses).
+// Helpers here convert between linear and logarithmic representations and
+// provide the handful of physical constants the propagation code needs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace speccal::util {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise reference temperature [K].
+inline constexpr double kT0Kelvin = 290.0;
+
+/// Convert a linear power ratio to decibels. Ratios <= 0 map to -infinity.
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Convert decibels to a linear power ratio.
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert watts to dBm.
+[[nodiscard]] inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts * 1e3);
+}
+
+/// Convert dBm to watts.
+[[nodiscard]] inline double dbm_to_watts(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0) * 1e-3;
+}
+
+/// Convert a field (voltage-like) ratio to dB (20 log10).
+[[nodiscard]] inline double amplitude_to_db(double ratio) noexcept {
+  return 20.0 * std::log10(ratio);
+}
+
+/// Convert dB to a field (voltage-like) ratio.
+[[nodiscard]] inline double db_to_amplitude(double db) noexcept {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// Wavelength [m] of a carrier at `freq_hz`.
+[[nodiscard]] inline double wavelength_m(double freq_hz) noexcept {
+  return kSpeedOfLight / freq_hz;
+}
+
+/// Thermal noise power [dBm] in `bandwidth_hz` at the reference temperature.
+/// kTB = -174 dBm/Hz + 10 log10(B).
+[[nodiscard]] inline double thermal_noise_dbm(double bandwidth_hz) noexcept {
+  return watts_to_dbm(kBoltzmann * kT0Kelvin * bandwidth_hz);
+}
+
+/// Sum two powers expressed in dB-like units (e.g. combine signal floors).
+[[nodiscard]] inline double power_sum_db(double a_db, double b_db) noexcept {
+  return ratio_to_db(db_to_ratio(a_db) + db_to_ratio(b_db));
+}
+
+// Frequency literals: 1_MHz, 90_kHz, 2_GHz (integral) for readable tables.
+namespace literals {
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_km(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_km(long double v) { return static_cast<double>(v) * 1e3; }
+}  // namespace literals
+
+/// Clamp an angle in degrees to [0, 360).
+[[nodiscard]] inline double wrap_degrees(double deg) noexcept {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0) d += 360.0;
+  return d;
+}
+
+/// Smallest absolute angular difference between two azimuths, in [0, 180].
+[[nodiscard]] inline double angular_distance_deg(double a, double b) noexcept {
+  double d = std::fabs(wrap_degrees(a) - wrap_degrees(b));
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+[[nodiscard]] inline constexpr double deg_to_rad(double deg) noexcept {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+
+[[nodiscard]] inline constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace speccal::util

@@ -1,0 +1,496 @@
+// Unit tests: Mode S CRC, CPR, altitude, callsign, DF17 frame codec.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "adsb/altitude.hpp"
+#include "adsb/callsign.hpp"
+#include "adsb/cpr.hpp"
+#include "adsb/crc.hpp"
+#include "adsb/frame.hpp"
+#include "adsb/io.hpp"
+#include "util/rng.hpp"
+
+namespace a = speccal::adsb;
+
+// ------------------------------------------------------------------ crc ----
+
+TEST(Crc, AttachedParityValidates) {
+  speccal::util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint8_t, 14> frame{};
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    a::attach_crc(frame);
+    EXPECT_TRUE(a::check_crc(frame));
+  }
+}
+
+TEST(Crc, DetectsEverySingleBitError) {
+  std::array<std::uint8_t, 14> frame{};
+  frame[0] = 0x8D;
+  frame[1] = 0xAB;
+  a::attach_crc(frame);
+  for (int bit = 0; bit < 112; ++bit) {
+    auto corrupted = frame;
+    corrupted[static_cast<std::size_t>(bit) / 8] ^=
+        static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    EXPECT_FALSE(a::check_crc(corrupted)) << "bit " << bit;
+  }
+}
+
+class CrcRepair : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcRepair, RepairsSingleBitAtAnyPosition) {
+  const int bit = GetParam();
+  std::array<std::uint8_t, 14> frame{};
+  frame[0] = 0x8D;
+  frame[3] = 0x42;
+  a::attach_crc(frame);
+  auto corrupted = frame;
+  corrupted[static_cast<std::size_t>(bit) / 8] ^=
+      static_cast<std::uint8_t>(0x80u >> (bit % 8));
+  const auto fixed = a::repair_frame(corrupted, 1);
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_EQ(fixed->size(), 1u);
+  EXPECT_EQ((*fixed)[0], bit);
+  EXPECT_EQ(corrupted, frame);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytesSampled, CrcRepair,
+                         ::testing::Values(0, 7, 8, 31, 55, 56, 87, 88, 100, 111));
+
+TEST(Crc, RepairsTwoBitErrors) {
+  std::array<std::uint8_t, 14> frame{};
+  frame[0] = 0x8D;
+  frame[5] = 0x99;
+  a::attach_crc(frame);
+  auto corrupted = frame;
+  corrupted[2] ^= 0x10;
+  corrupted[9] ^= 0x01;
+  EXPECT_FALSE(a::repair_frame(corrupted, 1).has_value());  // 1-bit budget fails
+  auto two = corrupted;
+  const auto fixed = a::repair_frame(two, 2);
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_EQ(fixed->size(), 2u);
+  EXPECT_EQ(two, frame);
+}
+
+TEST(Crc, CleanFrameRepairsToNothing) {
+  std::array<std::uint8_t, 14> frame{};
+  a::attach_crc(frame);
+  auto copy = frame;
+  const auto fixed = a::repair_frame(copy, 2);
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_TRUE(fixed->empty());
+}
+
+TEST(Crc, LinearityOfSyndromes) {
+  // crc(a ^ b) == crc(a) ^ crc(b): the property syndrome repair relies on.
+  speccal::util::Rng rng(33);
+  std::vector<std::uint8_t> x(14), y(14), z(14);
+  for (std::size_t i = 0; i < 14; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    y[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    z[i] = x[i] ^ y[i];
+  }
+  EXPECT_EQ(a::crc24(z), a::crc24(x) ^ a::crc24(y));
+}
+
+// ------------------------------------------------------------- altitude ----
+
+class AltitudeRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(AltitudeRoundTrip, QuantizedTo25Feet) {
+  const double alt = GetParam();
+  const auto decoded = a::decode_altitude_ft(a::encode_altitude_ft(alt));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(*decoded, alt, 12.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AltitudeRoundTrip,
+                         ::testing::Values(-1000.0, 0.0, 1000.0, 2500.0, 10000.0,
+                                           35000.0, 41000.0, 50175.0));
+
+TEST(Altitude, ClampsOutOfRange) {
+  EXPECT_NEAR(a::decode_altitude_ft(a::encode_altitude_ft(99999.0)).value(), 50175.0, 25.0);
+  EXPECT_NEAR(a::decode_altitude_ft(a::encode_altitude_ft(-5000.0)).value(), -1000.0, 25.0);
+}
+
+TEST(Altitude, RejectsUnavailableAndInvalidGillham) {
+  EXPECT_FALSE(a::decode_altitude_ft(0).has_value());
+  // Q = 0 with all C bits zero: invalid Gillham 100-ft sub-code.
+  EXPECT_FALSE(a::decode_altitude_ft(0b010000000000).has_value());  // A1 only
+}
+
+class GillhamRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(GillhamRoundTrip, QuantizedTo100Feet) {
+  const double alt = GetParam();
+  const std::uint16_t ac12 = a::encode_altitude_gillham_ft(alt);
+  EXPECT_EQ(ac12 & (1u << 4), 0u);  // Q stays clear
+  const auto decoded = a::decode_altitude_ft(ac12);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(*decoded, alt, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladder, GillhamRoundTrip,
+                         ::testing::Values(-1200.0, -500.0, 0.0, 700.0, 1500.0,
+                                           5000.0, 12300.0, 30000.0, 50000.0,
+                                           99900.0, 126700.0));
+
+TEST(Altitude, GillhamDenseSweepRoundTrips) {
+  // Every 100 ft rung from -1200 to 20000 ft must survive the Gray coding.
+  for (double alt = -1200.0; alt <= 20000.0; alt += 100.0) {
+    const auto decoded = a::decode_altitude_ft(a::encode_altitude_gillham_ft(alt));
+    ASSERT_TRUE(decoded.has_value()) << alt;
+    EXPECT_NEAR(*decoded, alt, 0.5) << alt;
+  }
+}
+
+TEST(Altitude, UnitConversions) {
+  EXPECT_NEAR(a::feet_to_m(10000.0), 3048.0, 1e-9);
+  EXPECT_NEAR(a::m_to_feet(a::feet_to_m(12345.0)), 12345.0, 1e-9);
+}
+
+// ------------------------------------------------------------- callsign ----
+
+TEST(Callsign, RoundTripTypical) {
+  for (const std::string cs : {"UAL123", "N12345", "DLH400", "A", "SWA1234"}) {
+    EXPECT_EQ(a::decode_callsign(a::encode_callsign(cs)), cs);
+  }
+}
+
+TEST(Callsign, LowercaseNormalizedAndPadded) {
+  EXPECT_EQ(a::decode_callsign(a::encode_callsign("ual1")), "UAL1");
+  EXPECT_EQ(a::decode_callsign(a::encode_callsign("")), "");
+}
+
+TEST(Callsign, UnsupportedCharactersBecomeSpace) {
+  EXPECT_EQ(a::decode_callsign(a::encode_callsign("AB-1")), "AB 1");
+}
+
+// ------------------------------------------------------------------ cpr ----
+
+TEST(Cpr, NlKnownValues) {
+  // Reference values from ICAO Doc 9871 / The 1090 MHz Riddle.
+  EXPECT_EQ(a::cpr_nl(0.0), 59);
+  EXPECT_EQ(a::cpr_nl(10.0), 59);
+  EXPECT_EQ(a::cpr_nl(10.5), 58);
+  EXPECT_EQ(a::cpr_nl(37.87), 47);   // testbed latitude (NL=47 band: 36.85-38.41)
+  EXPECT_EQ(a::cpr_nl(59.0), 30);    // NL=30 band: 58.84-59.95
+  EXPECT_EQ(a::cpr_nl(86.9), 2);
+  EXPECT_EQ(a::cpr_nl(87.5), 1);
+  EXPECT_EQ(a::cpr_nl(-37.87), 47);  // symmetric
+}
+
+class CprGlobalRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CprGlobalRoundTrip, EvenOddPairRecoversPosition) {
+  const auto [lat, lon] = GetParam();
+  const auto even = a::cpr_encode(lat, lon, false);
+  const auto odd = a::cpr_encode(lat, lon, true);
+  const auto fix = a::cpr_global_decode(even, odd, true);
+  ASSERT_TRUE(fix.has_value());
+  // Airborne CPR resolution is ~5 m; allow generous slack.
+  EXPECT_NEAR(fix->lat_deg, lat, 1e-4);
+  EXPECT_NEAR(fix->lon_deg, lon, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldGrid, CprGlobalRoundTrip,
+    ::testing::Values(std::make_tuple(37.87, -122.27), std::make_tuple(0.01, 0.01),
+                      std::make_tuple(51.5, -0.12), std::make_tuple(-33.87, 151.2),
+                      std::make_tuple(35.68, 139.69), std::make_tuple(64.1, -21.9),
+                      std::make_tuple(-54.8, -68.3), std::make_tuple(1.35, 103.99),
+                      std::make_tuple(45.0, 179.5), std::make_tuple(-0.5, -179.5)));
+
+TEST(Cpr, LocalDecodeTracksMovement) {
+  const double ref_lat = 37.87, ref_lon = -122.27;
+  // Aircraft ~50 km north-east of the reference.
+  const double lat = ref_lat + 0.3, lon = ref_lon + 0.4;
+  const auto msg = a::cpr_encode(lat, lon, true);
+  const auto fix = a::cpr_local_decode(msg, ref_lat, ref_lon);
+  EXPECT_NEAR(fix.lat_deg, lat, 1e-4);
+  EXPECT_NEAR(fix.lon_deg, lon, 1e-4);
+}
+
+TEST(Cpr, GlobalDecodeUsesMostRecentParity) {
+  // Aircraft moving: even at position A, odd at position B slightly north.
+  const double lat = 40.0, lon = -100.0;
+  const auto even = a::cpr_encode(lat, lon, false);
+  const auto odd = a::cpr_encode(lat + 0.01, lon, true);
+  const auto newer_odd = a::cpr_global_decode(even, odd, true);
+  const auto newer_even = a::cpr_global_decode(even, odd, false);
+  ASSERT_TRUE(newer_odd && newer_even);
+  EXPECT_NEAR(newer_odd->lat_deg, lat + 0.01, 2e-3);
+  EXPECT_NEAR(newer_even->lat_deg, lat, 2e-3);
+}
+
+TEST(Cpr, EncodedFieldsAre17Bits) {
+  speccal::util::Rng rng(35);
+  for (int i = 0; i < 200; ++i) {
+    const double lat = rng.uniform(-85.0, 85.0);
+    const double lon = rng.uniform(-180.0, 180.0);
+    const auto enc = a::cpr_encode(lat, lon, rng.chance(0.5));
+    EXPECT_LT(enc.lat, 131072u);
+    EXPECT_LT(enc.lon, 131072u);
+  }
+}
+
+// ----------------------------------------------------------------- frame ----
+
+TEST(Frame, PositionRoundTrip) {
+  const auto raw = a::build_position_frame(0xA1B2C3, 37.87, -122.27, 35000.0, false);
+  EXPECT_TRUE(a::check_crc(raw));
+  const auto frame = a::parse_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->icao, 0xA1B2C3u);
+  EXPECT_EQ(frame->type_code, 11);
+  ASSERT_TRUE(frame->has_position());
+  const auto& pos = std::get<a::PositionPayload>(frame->payload);
+  EXPECT_FALSE(pos.cpr.odd);
+  EXPECT_NEAR(a::decode_altitude_ft(pos.ac12).value(), 35000.0, 12.5);
+  // Verify the embedded CPR against a direct encode.
+  const auto want = a::cpr_encode(37.87, -122.27, false);
+  EXPECT_EQ(pos.cpr.lat, want.lat);
+  EXPECT_EQ(pos.cpr.lon, want.lon);
+}
+
+class VelocityRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(VelocityRoundTrip, SpeedTrackAndClimbRecovered) {
+  const auto [speed, track, vrate] = GetParam();
+  const auto raw = a::build_velocity_frame(0xABCDEF, speed, track, vrate);
+  EXPECT_TRUE(a::check_crc(raw));
+  const auto frame = a::parse_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(frame->has_velocity());
+  const auto& vel = std::get<a::VelocityPayload>(frame->payload);
+  EXPECT_NEAR(vel.ground_speed_kt, speed, 1.5);
+  if (speed > 1.0) {
+    const double err = std::fabs(std::remainder(vel.track_deg - track, 360.0));
+    EXPECT_LT(err, 1.0) << "track " << vel.track_deg << " vs " << track;
+  }
+  EXPECT_NEAR(vel.vertical_rate_fpm, vrate, 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VelocityRoundTrip,
+    ::testing::Values(std::make_tuple(450.0, 0.0, 0.0),
+                      std::make_tuple(250.0, 90.0, 1500.0),
+                      std::make_tuple(380.0, 222.5, -1800.0),
+                      std::make_tuple(120.0, 359.0, 600.0),
+                      std::make_tuple(500.0, 135.0, -2500.0)));
+
+TEST(Frame, IdentRoundTrip) {
+  const auto raw = a::build_ident_frame(0x123456, "UAL42");
+  EXPECT_TRUE(a::check_crc(raw));
+  const auto frame = a::parse_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(frame->has_ident());
+  EXPECT_EQ(std::get<a::IdentPayload>(frame->payload).callsign, "UAL42");
+}
+
+TEST(Frame, RejectsNonDf17) {
+  a::RawFrame raw{};
+  raw[0] = 0x20;  // DF4
+  EXPECT_FALSE(a::parse_frame(raw).has_value());
+}
+
+TEST(Frame, IcaoMaskedTo24Bits) {
+  const auto raw = a::build_ident_frame(0xFF123456, "X");
+  const auto frame = a::parse_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->icao, 0x123456u);
+}
+
+// ------------------------------------------------------- surface & DF11 ----
+
+TEST(CprSurface, LocalRoundTrip) {
+  const double lat = 37.6213, lon = -122.3790;  // an airport surface
+  for (bool odd : {false, true}) {
+    const auto enc = a::cpr_surface_encode(lat, lon, odd);
+    const auto fix = a::cpr_surface_local_decode(enc, 37.62, -122.38);
+    // Surface CPR resolution is ~1.25 m; allow generous slack.
+    EXPECT_NEAR(fix.lat_deg, lat, 5e-5);
+    EXPECT_NEAR(fix.lon_deg, lon, 5e-5);
+  }
+}
+
+TEST(CprSurface, FinerThanAirborne) {
+  // Surface zones are a quarter the size: the same position quantizes with
+  // ~4x less error than the airborne grid.
+  const double lat = 37.6213477, lon = -122.3790893;
+  const auto air = a::cpr_local_decode(a::cpr_encode(lat, lon, false), 37.62, -122.38);
+  const auto surf =
+      a::cpr_surface_local_decode(a::cpr_surface_encode(lat, lon, false), 37.62, -122.38);
+  EXPECT_LE(std::fabs(surf.lat_deg - lat), std::fabs(air.lat_deg - lat) + 1e-9);
+}
+
+class MovementRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(MovementRoundTrip, QuantizedPerDo260) {
+  const double speed = GetParam();
+  const auto code = a::encode_movement_kt(speed);
+  const auto decoded = a::decode_movement_kt(code);
+  ASSERT_TRUE(decoded.has_value());
+  // Quantization step grows with speed; accept the local step size.
+  const double step = speed < 2 ? 0.25 : speed < 15 ? 0.5 : speed < 70 ? 1.0
+                      : speed < 100 ? 2.0 : 5.0;
+  EXPECT_NEAR(*decoded, speed, step);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, MovementRoundTrip,
+                         ::testing::Values(0.0, 0.5, 1.5, 5.0, 14.5, 30.0, 69.0,
+                                           85.0, 120.0, 174.0));
+
+TEST(Movement, EdgeCodes) {
+  EXPECT_FALSE(a::decode_movement_kt(0).has_value());    // no information
+  EXPECT_FALSE(a::decode_movement_kt(125).has_value());  // reserved
+  EXPECT_DOUBLE_EQ(a::decode_movement_kt(1).value(), 0.0);
+  EXPECT_EQ(a::encode_movement_kt(500.0), 124);          // >= 175 kt saturates
+  EXPECT_DOUBLE_EQ(a::decode_movement_kt(124).value(), 175.0);
+}
+
+TEST(Frame, SurfaceRoundTrip) {
+  const auto raw =
+      a::build_surface_frame(0xABC123, 37.6213, -122.3790, 12.0, 270.0, false);
+  EXPECT_TRUE(a::check_crc(raw));
+  const auto frame = a::parse_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type_code, 7);
+  ASSERT_TRUE(frame->has_surface());
+  const auto& surf = std::get<a::SurfacePayload>(frame->payload);
+  ASSERT_TRUE(surf.ground_speed_kt.has_value());
+  EXPECT_NEAR(*surf.ground_speed_kt, 12.0, 0.5);
+  ASSERT_TRUE(surf.track_deg.has_value());
+  EXPECT_NEAR(*surf.track_deg, 270.0, 3.0);
+  const auto fix = a::cpr_surface_local_decode(surf.cpr, 37.62, -122.38);
+  EXPECT_NEAR(fix.lat_deg, 37.6213, 1e-4);
+  EXPECT_NEAR(fix.lon_deg, -122.3790, 1e-4);
+}
+
+TEST(AllCall, RoundTrip) {
+  const auto raw = a::build_all_call(0xDEF456, 5);
+  EXPECT_TRUE(a::check_crc(raw));
+  const auto parsed = a::parse_all_call(raw);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->icao, 0xDEF456u);
+  EXPECT_EQ(parsed->capability, 5);
+}
+
+TEST(AllCall, RejectsOtherFormats) {
+  a::ShortFrame raw{};
+  raw[0] = 0x20;  // DF4
+  EXPECT_FALSE(a::parse_all_call(raw).has_value());
+}
+
+// ------------------------------------------------------------ io formats ----
+
+TEST(AvrFormat, LongFrameRoundTrip) {
+  const auto frame = a::build_position_frame(0x4840D6, 52.25, 3.92, 38000.0, false);
+  const std::string line = a::to_avr(frame);
+  EXPECT_EQ(line.front(), '*');
+  EXPECT_EQ(line.back(), ';');
+  EXPECT_EQ(line.size(), 30u);
+  const auto parsed = a::from_avr(line);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(std::holds_alternative<a::RawFrame>(*parsed));
+  EXPECT_EQ(std::get<a::RawFrame>(*parsed), frame);
+}
+
+TEST(AvrFormat, ShortFrameRoundTrip) {
+  const auto frame = a::build_all_call(0xABCDEF);
+  const auto parsed = a::from_avr(a::to_avr(frame));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(std::holds_alternative<a::ShortFrame>(*parsed));
+  EXPECT_EQ(std::get<a::ShortFrame>(*parsed), frame);
+}
+
+TEST(AvrFormat, ToleratesWhitespaceRejectsGarbage) {
+  const auto frame = a::build_all_call(0x111111);
+  EXPECT_TRUE(a::from_avr("  " + a::to_avr(frame) + "\r\n").has_value());
+  EXPECT_FALSE(a::from_avr("").has_value());
+  EXPECT_FALSE(a::from_avr("*8D;").has_value());                 // wrong length
+  EXPECT_FALSE(a::from_avr("*8D4840D6202CC371C32CE0576G98;").has_value());  // bad hex
+  EXPECT_FALSE(a::from_avr("8D4840D6202CC371C32CE0576098").has_value());    // no framing
+}
+
+TEST(SbsFormat, FieldsPerMessageType) {
+  const std::uint32_t icao = 0x4840D6;
+  a::AircraftState track;
+  track.icao = icao;
+  track.callsign = "KLM1023";
+  track.position = speccal::geo::Geodetic{52.25, 3.92, a::feet_to_m(38000.0)};
+
+  const auto ident = a::parse_frame(a::build_ident_frame(icao, "KLM1023"));
+  ASSERT_TRUE(ident.has_value());
+  const std::string msg1 = a::to_sbs(*ident, &track, 12.5);
+  EXPECT_EQ(msg1.rfind("MSG,1,", 0), 0u);
+  EXPECT_NE(msg1.find("4840D6"), std::string::npos);
+  EXPECT_NE(msg1.find("KLM1023"), std::string::npos);
+
+  const auto pos = a::parse_frame(
+      a::build_position_frame(icao, 52.25, 3.92, 38000.0, false));
+  ASSERT_TRUE(pos.has_value());
+  const std::string msg3 = a::to_sbs(*pos, &track, 13.0);
+  EXPECT_EQ(msg3.rfind("MSG,3,", 0), 0u);
+  EXPECT_NE(msg3.find("38000"), std::string::npos);   // altitude column
+  EXPECT_NE(msg3.find("52.25"), std::string::npos);   // resolved latitude
+
+  const auto vel = a::parse_frame(a::build_velocity_frame(icao, 430.0, 95.0, -640.0));
+  ASSERT_TRUE(vel.has_value());
+  const std::string msg4 = a::to_sbs(*vel, &track, 13.5);
+  EXPECT_EQ(msg4.rfind("MSG,4,", 0), 0u);
+  EXPECT_NE(msg4.find("430"), std::string::npos);
+  EXPECT_NE(msg4.find("-640"), std::string::npos);
+}
+
+TEST(AvrFormat, FuzzNeverCrashes) {
+  speccal::util::Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    for (std::size_t i = 0; i < len; ++i)
+      line.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    // Must not crash; if it parses, re-encoding must reproduce the hex.
+    const auto parsed = a::from_avr(line);
+    if (parsed.has_value()) {
+      const std::string out = std::holds_alternative<a::RawFrame>(*parsed)
+                                  ? a::to_avr(std::get<a::RawFrame>(*parsed))
+                                  : a::to_avr(std::get<a::ShortFrame>(*parsed));
+      // Compare case-insensitively against the trimmed input.
+      std::string trimmed = line;
+      trimmed.erase(0, trimmed.find('*'));
+      for (auto& ch : trimmed) ch = static_cast<char>(std::toupper(ch));
+      EXPECT_EQ(out, trimmed);
+    }
+  }
+}
+
+TEST(Cpr, NlBoundaryLatitudesDecode) {
+  // Latitudes straddling NL transition boundaries are where CPR decoders
+  // break; the even/odd pair from one position must still decode.
+  for (double lat : {10.46, 10.48, 36.84, 36.86, 58.83, 58.85, 86.5, 86.6}) {
+    const auto even = a::cpr_encode(lat, -50.0, false);
+    const auto odd = a::cpr_encode(lat, -50.0, true);
+    const auto fix = a::cpr_global_decode(even, odd, false);
+    ASSERT_TRUE(fix.has_value()) << lat;
+    EXPECT_NEAR(fix->lat_deg, lat, 1e-4) << lat;
+    // Longitude resolution degrades with zone width: at 86.5 deg only
+    // NL=2-3 zones remain, so the 17-bit step is ~1e-3 degrees.
+    const double lon_tol = 360.0 / a::cpr_nl(lat) / 131072.0 + 1e-5;
+    EXPECT_NEAR(fix->lon_deg, -50.0, lon_tol) << lat;
+  }
+}
+
+TEST(Cpr, StalePairAcrossZonesRejected) {
+  // Even and odd messages from positions in different NL bands must be
+  // refused rather than mis-decoded (the DO-260 consistency check).
+  const auto even = a::cpr_encode(36.0, -100.0, false);   // NL = 48 band
+  const auto odd = a::cpr_encode(39.0, -100.0, true);     // NL = 46 band
+  EXPECT_FALSE(a::cpr_global_decode(even, odd, true).has_value());
+}

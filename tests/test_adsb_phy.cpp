@@ -1,0 +1,270 @@
+// Unit tests: PPM physical layer and the streaming decoder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adsb/altitude.hpp"
+#include "adsb/decoder.hpp"
+#include "adsb/ppm.hpp"
+#include "util/rng.hpp"
+
+namespace a = speccal::adsb;
+namespace d = speccal::dsp;
+
+namespace {
+void add_noise(d::Buffer& buf, double sigma, std::uint64_t seed) {
+  speccal::util::Rng rng(seed);
+  for (auto& s : buf)
+    s += d::Sample(static_cast<float>(rng.normal(0.0, sigma)),
+                   static_cast<float>(rng.normal(0.0, sigma)));
+}
+}  // namespace
+
+TEST(Ppm, EnvelopeStructure) {
+  const auto frame = a::build_ident_frame(0xAAAAAA, "TEST");
+  const auto env = a::ppm_envelope(frame);
+  ASSERT_EQ(env.size(), a::kFrameSamples);
+  // Preamble pulses at 0, 2, 7, 9; quiet elsewhere in the first 16.
+  for (std::size_t i : {0u, 2u, 7u, 9u}) EXPECT_EQ(env[i], 1.0f) << i;
+  for (std::size_t i : {1u, 3u, 4u, 5u, 6u, 8u, 10u, 11u, 12u, 13u, 14u, 15u})
+    EXPECT_EQ(env[i], 0.0f) << i;
+  // Each data bit occupies exactly one of its two half-slots.
+  for (std::size_t bit = 0; bit < a::kLongFrameBits; ++bit) {
+    const std::size_t base = a::kPreambleSamples + 2 * bit;
+    EXPECT_EQ(env[base] + env[base + 1], 1.0f) << "bit " << bit;
+  }
+}
+
+TEST(Ppm, CleanRoundTrip) {
+  const auto frame = a::build_position_frame(0xC0FFEE, 37.9, -122.3, 30000.0, true);
+  d::Buffer buf(1000, {0.0f, 0.0f});
+  a::modulate_into(frame, 0.05, 1.0, 0.0, 300, buf);
+  add_noise(buf, 1e-4, 1);
+  const auto dets = a::PpmDemodulator{}.process(buf);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].frame, frame);
+  EXPECT_EQ(dets[0].sample_index, 300u);
+  EXPECT_EQ(dets[0].repaired_bits, 0);
+  // RSSI of a 0.05-amplitude pulse train: 20 log10(0.05) = -26 dBFS.
+  EXPECT_NEAR(dets[0].rssi_dbfs, -26.0, 1.0);
+}
+
+TEST(Ppm, SurvivesCarrierOffset) {
+  const auto frame = a::build_ident_frame(0xBEEF01, "CFO1");
+  for (double cfo : {-80e3, -20e3, 20e3, 80e3}) {
+    d::Buffer buf(600, {0.0f, 0.0f});
+    a::modulate_into(frame, 0.1, 0.0, cfo, 100, buf);
+    add_noise(buf, 1e-4, 2);
+    const auto dets = a::PpmDemodulator{}.process(buf);
+    ASSERT_EQ(dets.size(), 1u) << "cfo " << cfo;
+    EXPECT_EQ(dets[0].frame, frame);
+  }
+}
+
+TEST(Ppm, DecodesMultipleFrames) {
+  d::Buffer buf(4000, {0.0f, 0.0f});
+  const auto f1 = a::build_ident_frame(0x111111, "ONE");
+  const auto f2 = a::build_ident_frame(0x222222, "TWO");
+  const auto f3 = a::build_ident_frame(0x333333, "THREE");
+  a::modulate_into(f1, 0.05, 0.1, 1e3, 200, buf);
+  a::modulate_into(f2, 0.08, 0.2, -2e3, 1500, buf);
+  a::modulate_into(f3, 0.03, 0.3, 0.0, 3000, buf);
+  add_noise(buf, 1e-4, 3);
+  const auto dets = a::PpmDemodulator{}.process(buf);
+  ASSERT_EQ(dets.size(), 3u);
+  EXPECT_EQ(dets[0].frame, f1);
+  EXPECT_EQ(dets[1].frame, f2);
+  EXPECT_EQ(dets[2].frame, f3);
+}
+
+TEST(Ppm, DecodeDegradesGracefullyWithSnr) {
+  // Frame decode rate should fall from ~1 to ~0 as noise rises past the
+  // signal level — the soft threshold the survey relies on.
+  const auto frame = a::build_ident_frame(0x777777, "SNR");
+  auto rate_at_sigma = [&](double sigma) {
+    int decoded = 0;
+    constexpr int kTrials = 40;
+    for (int t = 0; t < kTrials; ++t) {
+      d::Buffer buf(400, {0.0f, 0.0f});
+      a::modulate_into(frame, 0.01, 0.0, 0.0, 50, buf);
+      add_noise(buf, sigma, 100 + static_cast<std::uint64_t>(t));
+      const auto dets = a::PpmDemodulator{}.process(buf);
+      decoded += (dets.size() == 1 && dets[0].frame == frame) ? 1 : 0;
+    }
+    return decoded / static_cast<double>(kTrials);
+  };
+  EXPECT_GT(rate_at_sigma(0.0005), 0.95);  // SNR ~23 dB (per pulse)
+  EXPECT_LT(rate_at_sigma(0.02), 0.05);    // signal buried
+}
+
+TEST(Ppm, NoFalseDecodesOnPureNoise) {
+  d::Buffer buf(200000);
+  add_noise(buf, 0.01, 5);
+  const auto dets = a::PpmDemodulator{}.process(buf);
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(Ppm, RepairDisabledRejectsCorruptedFrames) {
+  const auto frame = a::build_ident_frame(0x445566, "FIX");
+  d::Buffer clean(500, {0.0f, 0.0f});
+  a::modulate_into(frame, 0.1, 0.0, 0.0, 100, clean);
+  // Erase one data pulse: creates exactly one sliced bit error.
+  const std::size_t bad_bit = 40;
+  const std::size_t base = 100 + a::kPreambleSamples + 2 * bad_bit;
+  clean[base] = {0.0f, 0.0f};
+  clean[base + 1] = {0.0f, 0.0f};
+  add_noise(clean, 5e-4, 6);
+
+  a::DemodConfig no_repair;
+  no_repair.max_crc_repair_bits = 0;
+  EXPECT_TRUE(a::PpmDemodulator{no_repair}.process(clean).empty());
+
+  a::DemodConfig with_repair;
+  with_repair.max_crc_repair_bits = 1;
+  const auto dets = a::PpmDemodulator{with_repair}.process(clean);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].frame, frame);
+  EXPECT_EQ(dets[0].repaired_bits, 1);
+}
+
+TEST(Ppm, SignedOffsetClipsCleanly) {
+  const auto frame = a::build_ident_frame(0x888888, "EDGE");
+  d::Buffer head(100, {0.0f, 0.0f});
+  // Frame starts 50 samples before this buffer: only its tail lands here.
+  a::modulate_into_signed(frame, 0.1, 0.0, 0.0, -50, head);
+  double energy = 0.0;
+  for (const auto& s : head) energy += std::norm(s);
+  EXPECT_GT(energy, 0.0);
+  // And rendering entirely before the buffer adds nothing.
+  d::Buffer empty(100, {0.0f, 0.0f});
+  a::modulate_into_signed(frame, 0.1, 0.0, 0.0, -5000, empty);
+  for (const auto& s : empty) EXPECT_EQ(std::norm(s), 0.0f);
+}
+
+// ---------------------------------------------------------------- decoder ----
+
+TEST(Decoder, TracksAircraftAcrossMessageTypes) {
+  a::Decoder decoder;
+  d::Buffer buf(6000, {0.0f, 0.0f});
+  const std::uint32_t icao = 0xA0B1C2;
+  a::modulate_into(a::build_position_frame(icao, 37.9, -122.3, 32000.0, false),
+                   0.05, 0.0, 0.0, 100, buf);
+  a::modulate_into(a::build_position_frame(icao, 37.9, -122.3, 32000.0, true),
+                   0.05, 0.0, 0.0, 2000, buf);
+  a::modulate_into(a::build_velocity_frame(icao, 440.0, 85.0, -500.0), 0.05, 0.0,
+                   0.0, 4000, buf);
+  a::modulate_into(a::build_ident_frame(icao, "TRK1"), 0.05, 0.0, 0.0, 5500, buf);
+  add_noise(buf, 1e-4, 7);
+
+  const auto frames = decoder.feed(buf, 0.0);
+  EXPECT_EQ(frames.size(), 4u);
+  const auto* ac = decoder.find(icao);
+  ASSERT_NE(ac, nullptr);
+  EXPECT_EQ(ac->message_count, 4u);
+  EXPECT_EQ(ac->callsign, "TRK1");
+  ASSERT_TRUE(ac->position.has_value());
+  EXPECT_NEAR(ac->position->lat_deg, 37.9, 1e-3);
+  EXPECT_NEAR(ac->position->lon_deg, -122.3, 1e-3);
+  EXPECT_NEAR(ac->position->alt_m, a::feet_to_m(32000.0), 10.0);
+  ASSERT_TRUE(ac->ground_speed_kt.has_value());
+  EXPECT_NEAR(*ac->ground_speed_kt, 440.0, 2.0);
+  EXPECT_TRUE(ac->credible());
+}
+
+TEST(Decoder, FrameSpanningChunkBoundaryStillDecodes) {
+  const std::uint32_t icao = 0xD1D2D3;
+  const auto frame = a::build_ident_frame(icao, "SPLIT");
+  d::Buffer whole(2000, {0.0f, 0.0f});
+  // Place the frame so it straddles the split point at sample 1000.
+  a::modulate_into(frame, 0.05, 0.0, 0.0, 900, whole);
+  add_noise(whole, 1e-4, 8);
+
+  a::Decoder decoder;
+  const d::Buffer first(whole.begin(), whole.begin() + 1000);
+  const d::Buffer second(whole.begin() + 1000, whole.end());
+  auto f1 = decoder.feed(first, 0.0);
+  auto f2 = decoder.feed(second, 1000.0 / a::kPpmSampleRateHz);
+  EXPECT_EQ(f1.size() + f2.size(), 1u);
+  EXPECT_NE(decoder.find(icao), nullptr);
+}
+
+TEST(Decoder, PruneForgetsStaleAircraft) {
+  a::Decoder decoder;
+  d::Buffer buf(600, {0.0f, 0.0f});
+  a::modulate_into(a::build_ident_frame(0xEEEEEE, "OLD"), 0.05, 0.0, 0.0, 100, buf);
+  add_noise(buf, 1e-4, 9);
+  (void)decoder.feed(buf, 0.0);
+  ASSERT_EQ(decoder.aircraft().size(), 1u);
+  decoder.prune(60.0);
+  EXPECT_EQ(decoder.aircraft().size(), 1u);   // within timeout
+  decoder.prune(500.0);
+  EXPECT_TRUE(decoder.aircraft().empty());    // beyond timeout
+}
+
+TEST(Decoder, ResetClearsEverything) {
+  a::Decoder decoder;
+  d::Buffer buf(600, {0.0f, 0.0f});
+  a::modulate_into(a::build_ident_frame(0xABABAB, "RST"), 0.05, 0.0, 0.0, 50, buf);
+  add_noise(buf, 1e-4, 10);
+  (void)decoder.feed(buf, 0.0);
+  EXPECT_EQ(decoder.total_frames(), 1u);
+  decoder.reset();
+  EXPECT_EQ(decoder.total_frames(), 0u);
+  EXPECT_TRUE(decoder.aircraft().empty());
+}
+
+TEST(Decoder, CredibilityPolicy) {
+  a::AircraftState ac;
+  ac.message_count = 1;
+  ac.clean_message_count = 0;
+  EXPECT_FALSE(ac.credible());  // one repaired frame: could be noise
+  ac.clean_message_count = 1;
+  EXPECT_TRUE(ac.credible());
+  ac.clean_message_count = 0;
+  ac.message_count = 2;
+  EXPECT_TRUE(ac.credible());
+}
+
+// ------------------------------------------------------ property sweeps ----
+
+class ModemRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModemRoundTrip, RandomFramesSurviveTheAir) {
+  // Property: any frame the builders can produce survives modulation,
+  // additive noise at comfortable SNR, demodulation and parsing with all
+  // fields intact.
+  speccal::util::Rng rng(GetParam());
+  const auto icao = static_cast<std::uint32_t>(rng.uniform_int(1, 0xFFFFFF));
+  const double lat = rng.uniform(-60.0, 60.0);
+  const double lon = rng.uniform(-179.0, 179.0);
+  const double alt = rng.uniform(1000.0, 45000.0);
+  const double speed = rng.uniform(80.0, 500.0);
+  const double track = rng.uniform(0.0, 360.0);
+  const double vrate = rng.uniform(-3000.0, 3000.0);
+
+  d::Buffer buf(2000, {0.0f, 0.0f});
+  a::modulate_into(a::build_position_frame(icao, lat, lon, alt, false), 0.05,
+                   rng.uniform(0.0, 6.28), rng.uniform(-50e3, 50e3), 100, buf);
+  a::modulate_into(a::build_velocity_frame(icao, speed, track, vrate), 0.05,
+                   rng.uniform(0.0, 6.28), rng.uniform(-50e3, 50e3), 800, buf);
+  add_noise(buf, 2e-3, GetParam() ^ 0xabc);
+
+  const auto dets = a::PpmDemodulator{}.process(buf);
+  ASSERT_EQ(dets.size(), 2u) << "seed " << GetParam();
+  const auto pos = a::parse_frame(dets[0].frame);
+  const auto vel = a::parse_frame(dets[1].frame);
+  ASSERT_TRUE(pos && pos->has_position());
+  ASSERT_TRUE(vel && vel->has_velocity());
+  EXPECT_EQ(pos->icao, icao);
+  const auto& p = std::get<a::PositionPayload>(pos->payload);
+  const auto fix = a::cpr_local_decode(p.cpr, lat + 0.01, lon - 0.01);
+  EXPECT_NEAR(fix.lat_deg, lat, 1e-3);
+  EXPECT_NEAR(fix.lon_deg, lon, 1e-3);
+  EXPECT_NEAR(a::decode_altitude_ft(p.ac12).value(), alt, 12.5);
+  const auto& v = std::get<a::VelocityPayload>(vel->payload);
+  EXPECT_NEAR(v.ground_speed_kt, speed, 1.5);
+  EXPECT_NEAR(v.vertical_rate_fpm, vrate, 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModemRoundTrip,
+                         ::testing::Range<std::uint64_t>(1000, 1020));

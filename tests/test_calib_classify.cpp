@@ -1,0 +1,103 @@
+// Tests: installation classification from fused evidence (§3.2 deduction).
+#include <gtest/gtest.h>
+
+#include "calib/classify.hpp"
+
+namespace cal = speccal::calib;
+namespace c = speccal::cellular;
+namespace g = speccal::geo;
+
+namespace {
+
+cal::FovEstimate fov_with(double open_fraction, g::SectorSet sectors = {}) {
+  cal::FovEstimate est;
+  est.open_fraction_deg = open_fraction;
+  est.open_sectors = std::move(sectors);
+  est.usable_observations = 40;
+  return est;
+}
+
+cal::FrequencyResponseReport freq_with(double low_atten, std::size_t low_rx,
+                                       double mid_atten, std::size_t mid_rx,
+                                       double slope) {
+  cal::FrequencyResponseReport report;
+  cal::BandQuality low;
+  low.band_class = c::SpectrumClass::kLowBand;
+  low.sources_total = 3;
+  low.sources_received = low_rx;
+  low.mean_attenuation_db = low_atten;
+  low.usable = low_rx > 0 && low_atten < 20.0;
+  cal::BandQuality mid;
+  mid.band_class = c::SpectrumClass::kMidBand;
+  mid.sources_total = 4;
+  mid.sources_received = mid_rx;
+  mid.mean_attenuation_db = mid_atten;
+  mid.usable = mid_rx > 0 && mid_atten < 20.0;
+  report.bands = {low, mid};
+  report.attenuation_slope_db_per_decade = slope;
+  report.mean_attenuation_db = (low_atten + mid_atten) / 2.0;
+  return report;
+}
+
+}  // namespace
+
+TEST(Classify, RooftopShapeIsOutdoor) {
+  const auto cls = cal::classify_installation(
+      fov_with(0.9, g::SectorSet({{0.0, 0.0}})), freq_with(1.0, 3, 1.0, 4, 0.0));
+  EXPECT_EQ(cls.type, cal::InstallationType::kOutdoorOpen);
+  EXPECT_FALSE(cls.indoor());
+  EXPECT_GT(cls.confidence, 0.4);
+  EXPECT_FALSE(cls.rationale.empty());
+}
+
+TEST(Classify, ScreenedRooftopIsOutdoorPartial) {
+  const auto cls = cal::classify_installation(
+      fov_with(0.4, g::SectorSet({{235.0, 335.0}})), freq_with(2.0, 3, 1.0, 4, -2.0));
+  EXPECT_EQ(cls.type, cal::InstallationType::kOutdoorPartial);
+  EXPECT_FALSE(cls.indoor());
+}
+
+TEST(Classify, WindowShape) {
+  // Narrow FoV, mid band attenuated but alive, rising slope.
+  const auto cls = cal::classify_installation(
+      fov_with(0.11, g::SectorSet({{250.0, 290.0}})), freq_with(8.0, 3, 22.0, 3, 15.0));
+  EXPECT_EQ(cls.type, cal::InstallationType::kIndoorWindow);
+  EXPECT_TRUE(cls.indoor());
+}
+
+TEST(Classify, DeepIndoorShape) {
+  // No FoV, mid band dead, steep slope.
+  const auto cls = cal::classify_installation(fov_with(0.0),
+                                              freq_with(18.0, 2, 0.0, 0, 30.0));
+  EXPECT_EQ(cls.type, cal::InstallationType::kIndoorDeep);
+  EXPECT_TRUE(cls.indoor());
+  EXPECT_GT(cls.confidence, 0.3);
+}
+
+TEST(Classify, RationaleMentionsKeyEvidence) {
+  const auto cls = cal::classify_installation(fov_with(0.0),
+                                              freq_with(18.0, 2, 0.0, 0, 30.0));
+  bool mentions_fov = false, mentions_midband = false;
+  for (const auto& reason : cls.rationale) {
+    mentions_fov |= reason.find("field of view") != std::string::npos;
+    mentions_midband |= reason.find("mid-band") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_fov);
+  EXPECT_TRUE(mentions_midband);
+}
+
+TEST(Classify, NamesAreHumanReadable) {
+  EXPECT_EQ(cal::to_string(cal::InstallationType::kOutdoorOpen), "outdoor (open sky)");
+  EXPECT_EQ(cal::to_string(cal::InstallationType::kIndoorWindow), "indoor (behind window)");
+  EXPECT_FALSE(cal::to_string(cal::InstallationType::kOutdoorPartial).empty());
+  EXPECT_FALSE(cal::to_string(cal::InstallationType::kIndoorDeep).empty());
+}
+
+TEST(Classify, ConfidenceBounded) {
+  for (double frac : {0.0, 0.11, 0.4, 0.9}) {
+    const auto cls =
+        cal::classify_installation(fov_with(frac), freq_with(10.0, 2, 15.0, 2, 5.0));
+    EXPECT_GE(cls.confidence, 0.0);
+    EXPECT_LE(cls.confidence, 1.0);
+  }
+}

@@ -1,0 +1,156 @@
+// Tests: field-of-view estimation (sector histogram and KNN).
+#include <gtest/gtest.h>
+
+#include "calib/fov.hpp"
+#include "util/rng.hpp"
+
+namespace cal = speccal::calib;
+namespace g = speccal::geo;
+
+namespace {
+
+/// Build a synthetic survey: aircraft on a ring at `range_km`, received
+/// exactly when their azimuth falls in `open`.
+cal::SurveyResult ring_survey(const g::SectorSet& open, double range_km,
+                              double step_deg = 5.0) {
+  cal::SurveyResult survey;
+  std::uint32_t icao = 1;
+  for (double az = 0.0; az < 360.0; az += step_deg) {
+    cal::AirplaneObservation obs;
+    obs.icao = icao++;
+    obs.azimuth_deg = az;
+    obs.range_km = range_km;
+    obs.received = open.contains(az);
+    obs.messages = obs.received ? 10 : 0;
+    survey.observations.push_back(obs);
+  }
+  return survey;
+}
+
+const g::SectorSet kWestOpen({{235.0, 335.0}});
+
+}  // namespace
+
+TEST(FovSectors, RecoversOpenSector) {
+  const auto survey = ring_survey(kWestOpen, 60.0);
+  const auto est = cal::estimate_fov_sectors(survey);
+  EXPECT_GT(cal::fov_accuracy(est, kWestOpen), 0.9);
+  EXPECT_NEAR(est.open_fraction_deg, 100.0 / 360.0, 0.05);
+  EXPECT_TRUE(est.open_sectors.contains(280.0));
+  EXPECT_FALSE(est.open_sectors.contains(90.0));
+}
+
+TEST(FovSectors, NearFieldObservationsCarryNoInformation) {
+  // Everything inside near_field_km is received regardless of direction
+  // (the paper's <20 km effect); the estimator must ignore those points.
+  cal::SurveyResult survey = ring_survey(kWestOpen, 60.0);
+  // Add a full ring of received aircraft at 10 km.
+  g::SectorSet everywhere({{0.0, 0.0}});
+  auto near_ring = ring_survey(everywhere, 10.0);
+  for (auto& obs : near_ring.observations) obs.icao += 1000;
+  survey.observations.insert(survey.observations.end(),
+                             near_ring.observations.begin(),
+                             near_ring.observations.end());
+
+  const auto est = cal::estimate_fov_sectors(survey);
+  EXPECT_GT(cal::fov_accuracy(est, kWestOpen), 0.9);
+  EXPECT_EQ(est.usable_observations, 72u);  // only the 60 km ring
+}
+
+TEST(FovSectors, EmptyBinsInterpolateFromNeighbours) {
+  // Traffic only in two bins, one open one closed; the gaps must borrow
+  // verdicts instead of defaulting to blocked.
+  cal::SurveyResult survey;
+  for (int i = 0; i < 5; ++i) {
+    cal::AirplaneObservation received;
+    received.icao = static_cast<std::uint32_t>(100 + i);
+    received.azimuth_deg = 45.0;
+    received.range_km = 70.0;
+    received.received = true;
+    survey.observations.push_back(received);
+    cal::AirplaneObservation missed;
+    missed.icao = static_cast<std::uint32_t>(200 + i);
+    missed.azimuth_deg = 225.0;
+    missed.range_km = 70.0;
+    missed.received = false;
+    survey.observations.push_back(missed);
+  }
+  const auto est = cal::estimate_fov_sectors(survey);
+  std::size_t interpolated = 0;
+  for (const auto& bin : est.bins) interpolated += bin.interpolated ? 1 : 0;
+  EXPECT_GT(interpolated, 20u);
+  EXPECT_TRUE(est.open_sectors.contains(45.0));
+  EXPECT_FALSE(est.open_sectors.contains(225.0));
+  // Azimuths near the open evidence lean open.
+  EXPECT_TRUE(est.open_sectors.contains(60.0));
+}
+
+TEST(FovSectors, NoUsableObservationsMeansClosed) {
+  cal::SurveyResult empty;
+  const auto est = cal::estimate_fov_sectors(empty);
+  EXPECT_EQ(est.usable_observations, 0u);
+  EXPECT_DOUBLE_EQ(est.open_fraction_deg, 0.0);
+}
+
+TEST(FovSectors, FullyOpenSky) {
+  const auto survey = ring_survey(g::SectorSet({{0.0, 0.0}}), 60.0);
+  const auto est = cal::estimate_fov_sectors(survey);
+  EXPECT_GT(est.open_fraction_deg, 0.99);
+}
+
+TEST(FovKnn, RecoversOpenSector) {
+  const auto survey = ring_survey(kWestOpen, 60.0, 3.0);
+  const auto est = cal::estimate_fov_knn(survey);
+  EXPECT_GT(cal::fov_accuracy(est, kWestOpen), 0.88);
+}
+
+TEST(FovKnn, HandlesSparseNoisyTraffic) {
+  // 20 aircraft at random azimuths, labels from geometry plus a couple of
+  // contradictions; KNN should still get the majority of the circle right.
+  speccal::util::Rng rng(42);
+  cal::SurveyResult survey;
+  for (int i = 0; i < 20; ++i) {
+    cal::AirplaneObservation obs;
+    obs.icao = static_cast<std::uint32_t>(i + 1);
+    obs.azimuth_deg = rng.uniform(0.0, 360.0);
+    obs.range_km = rng.uniform(30.0, 90.0);
+    obs.received = kWestOpen.contains(obs.azimuth_deg);
+    survey.observations.push_back(obs);
+  }
+  // One flipped label (fade / lucky multipath).
+  survey.observations[3].received = !survey.observations[3].received;
+  const auto est = cal::estimate_fov_knn(survey);
+  EXPECT_GT(cal::fov_accuracy(est, kWestOpen), 0.6);
+}
+
+TEST(FovKnn, FartherReceptionsWeighMore) {
+  // A single far reception against a single nearer miss at the same
+  // azimuth: the far reception is stronger evidence of openness.
+  cal::SurveyResult survey;
+  cal::AirplaneObservation far_rx;
+  far_rx.icao = 1;
+  far_rx.azimuth_deg = 100.0;
+  far_rx.range_km = 95.0;
+  far_rx.received = true;
+  cal::AirplaneObservation near_miss;
+  near_miss.icao = 2;
+  near_miss.azimuth_deg = 100.0;
+  near_miss.range_km = 30.0;
+  near_miss.received = false;
+  survey.observations = {far_rx, near_miss};
+  cal::FovConfig cfg;
+  cfg.knn_k = 2;
+  const auto est = cal::estimate_fov_knn(survey, cfg);
+  EXPECT_TRUE(est.open_sectors.contains(100.0));
+}
+
+TEST(FovKnn, EmptySurveyClosed) {
+  const auto est = cal::estimate_fov_knn(cal::SurveyResult{});
+  EXPECT_DOUBLE_EQ(est.open_fraction_deg, 0.0);
+}
+
+TEST(FovAccuracy, SelfSimilarityIsOne) {
+  const auto survey = ring_survey(kWestOpen, 50.0);
+  const auto est = cal::estimate_fov_sectors(survey);
+  EXPECT_DOUBLE_EQ(cal::fov_accuracy(est, est.open_sectors), 1.0);
+}

@@ -1,0 +1,214 @@
+// Tests: frequency-response fusion (§3.2).
+#include <gtest/gtest.h>
+
+#include "calib/freqresp.hpp"
+#include "calib/hardware.hpp"
+
+namespace cal = speccal::calib;
+namespace c = speccal::cellular;
+
+namespace {
+cal::BandMeasurement meas(double freq_hz, double expected_dbm,
+                          std::optional<double> measured_dbm,
+                          cal::SignalKind kind = cal::SignalKind::kCellular) {
+  cal::BandMeasurement m;
+  m.kind = kind;
+  m.freq_hz = freq_hz;
+  m.expected_dbm = expected_dbm;
+  m.measured_dbm = measured_dbm;
+  return m;
+}
+}  // namespace
+
+TEST(FreqResp, CleanNodeHasZeroAttenuationEverywhere) {
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -50.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -60.0),
+      meas(1970e6, -65.0, -65.0),
+      meas(2680e6, -70.0, -70.0),
+  });
+  EXPECT_NEAR(report.mean_attenuation_db, 0.0, 1e-9);
+  EXPECT_NEAR(report.attenuation_slope_db_per_decade, 0.0, 1e-6);
+  for (const auto& band : report.bands) {
+    EXPECT_TRUE(band.usable);
+    EXPECT_EQ(band.sources_received, band.sources_total);
+  }
+}
+
+TEST(FreqResp, IndoorShapeRisingSlopeAndDeadMidBand) {
+  // Low band attenuated ~15 dB, mid band lost entirely: the paper's
+  // indoor signature.
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -60.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -78.0),
+      meas(1970e6, -65.0, std::nullopt),
+      meas(2145e6, -66.0, std::nullopt),
+      meas(2680e6, -70.0, std::nullopt),
+  });
+  EXPECT_GT(report.attenuation_slope_db_per_decade, 10.0);
+  const cal::BandQuality* low = nullptr;
+  const cal::BandQuality* mid = nullptr;
+  for (const auto& band : report.bands) {
+    if (band.band_class == c::SpectrumClass::kLowBand) low = &band;
+    if (band.band_class == c::SpectrumClass::kMidBand) mid = &band;
+  }
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->sources_received, 0u);
+  EXPECT_FALSE(mid->usable);
+  EXPECT_GT(low->sources_received, 0u);
+}
+
+TEST(FreqResp, LostSourcesGetPenaltyAttenuation) {
+  cal::FrequencyResponseConfig cfg;
+  cfg.lost_penalty_db = 50.0;
+  const auto report = cal::evaluate_frequency_response(
+      {meas(1970e6, -65.0, std::nullopt)}, cfg);
+  EXPECT_NEAR(report.mean_attenuation_db, 50.0, 1e-9);
+}
+
+TEST(FreqResp, MeasuredAboveExpectedClampsToZero) {
+  // Constructive fading can make measured exceed expected; attenuation
+  // must not go negative.
+  const auto report =
+      cal::evaluate_frequency_response({meas(731e6, -60.0, -55.0)});
+  EXPECT_DOUBLE_EQ(report.mean_attenuation_db, 0.0);
+}
+
+TEST(FreqResp, UsableThresholds) {
+  cal::FrequencyResponseConfig cfg;
+  cfg.degraded_threshold_db = 20.0;
+  cfg.usable_fraction = 0.5;
+  // Two mid-band sources: one fine, one degraded -> exactly at the 50%
+  // usable fraction.
+  const auto report = cal::evaluate_frequency_response(
+      {meas(1970e6, -65.0, -70.0), meas(2145e6, -66.0, -96.0)}, cfg);
+  ASSERT_EQ(report.bands.size(), 1u);
+  EXPECT_TRUE(report.bands[0].usable);
+  // Both degraded -> unusable.
+  const auto bad = cal::evaluate_frequency_response(
+      {meas(1970e6, -65.0, -95.0), meas(2145e6, -66.0, -96.0)}, cfg);
+  EXPECT_FALSE(bad.bands[0].usable);
+}
+
+TEST(FreqResp, WorstAttenuationTracked) {
+  const auto report = cal::evaluate_frequency_response(
+      {meas(1970e6, -65.0, -70.0), meas(2145e6, -66.0, -90.0)});
+  ASSERT_EQ(report.bands.size(), 1u);
+  EXPECT_NEAR(report.bands[0].worst_attenuation_db, 24.0, 1e-9);
+  EXPECT_NEAR(report.bands[0].mean_attenuation_db, (5.0 + 24.0) / 2.0, 1e-9);
+}
+
+TEST(FreqResp, BandsSortedByClass) {
+  const auto report = cal::evaluate_frequency_response({
+      meas(3600e6, -70.0, -70.0),
+      meas(731e6, -60.0, -60.0),
+      meas(1970e6, -65.0, -65.0),
+  });
+  ASSERT_EQ(report.bands.size(), 3u);
+  EXPECT_EQ(report.bands[0].band_class, c::SpectrumClass::kLowBand);
+  EXPECT_EQ(report.bands[1].band_class, c::SpectrumClass::kMidBand);
+  EXPECT_EQ(report.bands[2].band_class, c::SpectrumClass::kHighBand);
+}
+
+TEST(FreqResp, SignalKindNames) {
+  EXPECT_EQ(cal::to_string(cal::SignalKind::kAdsb), "ADS-B");
+  EXPECT_EQ(cal::to_string(cal::SignalKind::kCellular), "cellular");
+  EXPECT_EQ(cal::to_string(cal::SignalKind::kTv), "TV");
+}
+
+TEST(FreqResp, EmptyInputIsNeutral) {
+  const auto report = cal::evaluate_frequency_response({});
+  EXPECT_TRUE(report.bands.empty());
+  EXPECT_DOUBLE_EQ(report.mean_attenuation_db, 0.0);
+  EXPECT_DOUBLE_EQ(report.attenuation_slope_db_per_decade, 0.0);
+}
+
+// ------------------------------------------------------ hardware diagnosis ----
+
+namespace {
+speccal::calib::FovEstimate wide_fov() {
+  speccal::calib::FovEstimate fov;
+  fov.open_fraction_deg = 0.9;
+  fov.open_sectors = speccal::geo::SectorSet({{0.0, 0.0}});
+  return fov;
+}
+}  // namespace
+
+TEST(Hardware, HealthyNodeCleanDiagnosis) {
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -51.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -61.5),
+      meas(1970e6, -65.0, -66.0),
+      meas(2680e6, -70.0, -70.5),
+  });
+  const auto diag = speccal::calib::diagnose_hardware(report, wide_fov());
+  EXPECT_TRUE(diag.healthy());
+}
+
+TEST(Hardware, CableFaultIsFlatLoss) {
+  // 11 dB everywhere, every direction open: that is plumbing, not siting.
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -61.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -71.5),
+      meas(1970e6, -65.0, -76.0),
+      meas(2680e6, -70.0, -80.5),
+  });
+  const auto diag = speccal::calib::diagnose_hardware(report, wide_fov());
+  EXPECT_TRUE(diag.cable_fault_suspected);
+  EXPECT_NEAR(diag.estimated_cable_loss_db, 11.0, 1.0);
+  EXPECT_FALSE(diag.antenna_band_mismatch);
+}
+
+TEST(Hardware, IndoorSitingIsNotACableFault) {
+  // Rising slope + narrow FoV: the indoor signature must not be blamed on
+  // the cable.
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -60.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -78.0),
+      meas(1970e6, -65.0, -95.0),
+      meas(2680e6, -70.0, std::nullopt),
+  });
+  speccal::calib::FovEstimate narrow;
+  narrow.open_fraction_deg = 0.05;
+  const auto diag = speccal::calib::diagnose_hardware(report, narrow);
+  EXPECT_FALSE(diag.cable_fault_suspected);
+}
+
+TEST(Hardware, NarrowAntennaDetected) {
+  // Healthy 470-2200 MHz, deaf at 213 MHz and 2680 MHz despite open sky:
+  // the antenna does not cover the claimed range.
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -75.0, cal::SignalKind::kTv),   // deaf (edge)
+      meas(473e6, -55.0, -56.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -61.0),
+      meas(1970e6, -65.0, -66.5),
+      meas(2680e6, -70.0, -94.0),                        // deaf (edge)
+  });
+  const auto diag = speccal::calib::diagnose_hardware(report, wide_fov());
+  EXPECT_TRUE(diag.antenna_band_mismatch);
+  ASSERT_EQ(diag.deaf_frequencies_hz.size(), 2u);
+  EXPECT_FALSE(diag.cable_fault_suspected);
+}
+
+TEST(Hardware, ScatteredDeafnessIsSiting) {
+  // A deaf source in the middle of healthy ones is an obstruction toward
+  // that source, not an antenna problem.
+  const auto report = cal::evaluate_frequency_response({
+      meas(213e6, -50.0, -51.0, cal::SignalKind::kTv),
+      meas(731e6, -60.0, -85.0),  // deaf, but mid-spectrum
+      meas(1970e6, -65.0, -66.0),
+      meas(2680e6, -70.0, -71.0),
+  });
+  const auto diag = speccal::calib::diagnose_hardware(report, wide_fov());
+  EXPECT_FALSE(diag.antenna_band_mismatch);
+}
+
+TEST(Hardware, NoDataNoDiagnosis) {
+  const auto report = cal::evaluate_frequency_response({
+      meas(1970e6, -65.0, std::nullopt),
+  });
+  const auto diag = speccal::calib::diagnose_hardware(report, wide_fov());
+  EXPECT_TRUE(diag.healthy());
+  EXPECT_FALSE(diag.notes.empty());
+}

@@ -1,0 +1,211 @@
+// Tests: logistic-regression indoor/outdoor classifier (§5 ML direction)
+// and cross-node mutual verification.
+#include <gtest/gtest.h>
+
+#include "calib/crosscheck.hpp"
+#include "calib/ml.hpp"
+#include "scenario/testbed.hpp"
+#include "util/rng.hpp"
+
+namespace cal = speccal::calib;
+namespace sc = speccal::scenario;
+namespace g = speccal::geo;
+
+namespace {
+
+cal::CalibrationReport calibrate(sc::Site site, std::uint64_t seed) {
+  const auto world = sc::make_world(seed);
+  const auto setup = sc::make_site(site, seed);
+  auto device = sc::make_node(setup, world, seed);
+  cal::NodeClaims claims;
+  claims.node_id = sc::site_name(site);
+  cal::PipelineConfig cfg;
+  cfg.survey.fidelity = cal::Fidelity::kLinkBudget;
+  return cal::CalibrationPipeline(world, cfg).calibrate(*device, claims);
+}
+
+}  // namespace
+
+TEST(MlFeatures, ExtractedAndBounded) {
+  const auto report = calibrate(sc::Site::kWindow, 2023);
+  const auto features = cal::MlFeatures::from_report(report);
+  for (std::size_t k = 0; k < cal::MlFeatures::kCount; ++k) {
+    EXPECT_GE(features.values[k], -1.0) << cal::MlFeatures::name(k);
+    EXPECT_LE(features.values[k], 1.0) << cal::MlFeatures::name(k);
+  }
+  // The window site: narrow FoV, some mid-band attenuation.
+  EXPECT_LT(features.values[0], 0.3);
+  EXPECT_GT(features.values[3], 0.2);
+}
+
+TEST(MlClassifier, LearnsLinearlySeparableToy) {
+  // Feature 0 alone decides the label.
+  std::vector<cal::MlFeatures> examples;
+  std::vector<bool> labels;
+  speccal::util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    cal::MlFeatures f;
+    const bool indoor = rng.chance(0.5);
+    f.values[0] = indoor ? rng.uniform(0.0, 0.3) : rng.uniform(0.6, 1.0);
+    for (std::size_t k = 1; k < cal::MlFeatures::kCount; ++k)
+      f.values[k] = rng.uniform(0.0, 1.0);
+    examples.push_back(f);
+    labels.push_back(indoor);
+  }
+  cal::IndoorClassifier clf;
+  const double loss = clf.train(examples, labels);
+  EXPECT_LT(loss, 0.2);
+  int correct = 0;
+  for (std::size_t i = 0; i < examples.size(); ++i)
+    correct += clf.predict_indoor(examples[i]) == labels[i];
+  EXPECT_GT(correct, 190);
+  // The decisive feature carries a strongly negative weight (low open
+  // fraction => indoor).
+  EXPECT_LT(clf.weights()[0], -1.0);
+}
+
+TEST(MlClassifier, TrainOnSimulatedFleetGeneralizes) {
+  // Train on sites from 6 seeds, test on 3 held-out seeds.
+  std::vector<cal::MlFeatures> train_x;
+  std::vector<bool> train_y;
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+    for (auto site : {sc::Site::kRooftop, sc::Site::kWindow, sc::Site::kIndoor}) {
+      train_x.push_back(cal::MlFeatures::from_report(calibrate(site, seed)));
+      train_y.push_back(site != sc::Site::kRooftop);  // indoor label
+    }
+  }
+  cal::IndoorClassifier clf;
+  clf.train(train_x, train_y);
+
+  int correct = 0, total = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    for (auto site : {sc::Site::kRooftop, sc::Site::kWindow, sc::Site::kIndoor}) {
+      const bool want = site != sc::Site::kRooftop;
+      const auto features = cal::MlFeatures::from_report(calibrate(site, seed));
+      correct += clf.predict_indoor(features) == want;
+      ++total;
+    }
+  }
+  EXPECT_GE(correct, total - 1);  // at most one miss on 9 held-out sites
+}
+
+TEST(MlClassifier, RejectsBadDatasets) {
+  cal::IndoorClassifier clf;
+  std::vector<cal::MlFeatures> x(3);
+  std::vector<bool> y(2);
+  EXPECT_THROW(clf.train(x, y), std::invalid_argument);
+  EXPECT_THROW(clf.train({}, {}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ cross-check ----
+
+namespace {
+cal::NodeSurvey make_node_survey(const std::string& id,
+                                 const std::vector<std::tuple<std::uint32_t, double,
+                                                              double, bool>>& obs,
+                                 g::SectorSet fov) {
+  cal::NodeSurvey node;
+  node.node_id = id;
+  node.fov.open_sectors = std::move(fov);
+  for (const auto& [icao, az, range, received] : obs) {
+    cal::AirplaneObservation o;
+    o.icao = icao;
+    o.azimuth_deg = az;
+    o.range_km = range;
+    o.received = received;
+    node.survey.observations.push_back(o);
+  }
+  return node;
+}
+}  // namespace
+
+TEST(CrossCheck, ConsistentNodesNotSuspicious) {
+  const g::SectorSet all({{0.0, 0.0}});
+  const auto a = make_node_survey("a", {{1, 90, 50, true}, {2, 180, 60, true}}, all);
+  const auto b = make_node_survey("b", {{1, 90, 50, true}, {2, 180, 60, true}}, all);
+  const auto report = cal::cross_check({a, b});
+  for (const auto& n : report.nodes) {
+    EXPECT_DOUBLE_EQ(n.suspicion, 0.0);
+    EXPECT_FALSE(n.outlier);
+  }
+  EXPECT_TRUE(report.unconfirmed_icaos.empty());
+}
+
+TEST(CrossCheck, BlindNodeFlagged) {
+  const g::SectorSet all({{0.0, 0.0}});
+  // Node "bad" claims a full FoV yet misses everything its peers decode.
+  std::vector<std::tuple<std::uint32_t, double, double, bool>> seen, missed;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    seen.push_back({i, i * 50.0, 40.0 + i * 5.0, true});
+    missed.push_back({i, i * 50.0, 40.0 + i * 5.0, false});
+  }
+  const auto good1 = make_node_survey("good1", seen, all);
+  const auto good2 = make_node_survey("good2", seen, all);
+  const auto bad = make_node_survey("bad", missed, all);
+  const auto report = cal::cross_check({good1, good2, bad});
+  ASSERT_EQ(report.nodes.size(), 3u);
+  EXPECT_FALSE(report.nodes[0].outlier);
+  EXPECT_FALSE(report.nodes[1].outlier);
+  EXPECT_TRUE(report.nodes[2].outlier);
+  EXPECT_DOUBLE_EQ(report.nodes[2].suspicion, 1.0);
+}
+
+TEST(CrossCheck, ClosedSectorsAreNotEvidence) {
+  // A node with an honestly-narrow FoV misses everything outside it; that
+  // must not raise suspicion.
+  const g::SectorSet all({{0.0, 0.0}});
+  const g::SectorSet narrow({{80.0, 100.0}});
+  std::vector<std::tuple<std::uint32_t, double, double, bool>> seen, partial;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    const double az = i * 55.0;
+    seen.push_back({i, az, 50.0, true});
+    partial.push_back({i, az, 50.0, az >= 80.0 && az < 100.0});
+  }
+  const auto wide = make_node_survey("wide", seen, all);
+  const auto honest_narrow = make_node_survey("narrow", partial, narrow);
+  const auto report = cal::cross_check({wide, honest_narrow});
+  EXPECT_FALSE(report.nodes[1].outlier);
+  EXPECT_DOUBLE_EQ(report.nodes[1].suspicion, 0.0);
+}
+
+TEST(CrossCheck, NearFieldExcluded) {
+  const g::SectorSet all({{0.0, 0.0}});
+  // Misses at 10 km are inside the near-field gate: no evidence.
+  const auto a = make_node_survey("a", {{1, 90, 10, true}}, all);
+  const auto b = make_node_survey("b", {{1, 90, 10, false}}, all);
+  const auto report = cal::cross_check({a, b});
+  EXPECT_EQ(report.nodes[1].expected, 0u);
+}
+
+TEST(CrossCheck, UnconfirmedReceptionsListed) {
+  const g::SectorSet all({{0.0, 0.0}});
+  // Node "fab" decodes ICAO 99 that node "wit" has no ground-truth record
+  // of at all -> unconfirmed.
+  const auto fab = make_node_survey("fab", {{99, 120, 50, true}}, all);
+  const auto wit = make_node_survey("wit", {{1, 90, 50, true}}, all);
+  const auto report = cal::cross_check({fab, wit});
+  ASSERT_EQ(report.unconfirmed_icaos.size(), 2u);  // 99 and 1 are both solo
+}
+
+TEST(CrossCheck, PipelineSurveysInteroperate) {
+  // End-to-end: three real surveys over the same sky cross-check cleanly.
+  const auto world = sc::make_world(2023);
+  std::vector<cal::NodeSurvey> nodes;
+  for (auto site : {sc::Site::kRooftop, sc::Site::kWindow, sc::Site::kIndoor}) {
+    const auto setup = sc::make_site(site, 2023);
+    auto device = sc::make_node(setup, world, 2023);
+    speccal::airtraffic::GroundTruthService gt(*world.sky,
+                                               world.ground_truth_latency_s);
+    cal::SurveyConfig cfg;
+    cfg.fidelity = cal::Fidelity::kLinkBudget;
+    cal::NodeSurvey node;
+    node.node_id = sc::site_name(site);
+    node.survey = cal::AdsbSurvey(cfg).run(*device, *world.sky, gt);
+    node.fov = cal::estimate_fov_knn(node.survey);
+    nodes.push_back(std::move(node));
+  }
+  const auto report = cal::cross_check(nodes);
+  ASSERT_EQ(report.nodes.size(), 3u);
+  // Honest nodes surveying the same sky: nobody is an outlier.
+  for (const auto& n : report.nodes) EXPECT_FALSE(n.outlier) << n.node_id;
+}

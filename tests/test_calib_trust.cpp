@@ -1,0 +1,204 @@
+// Tests: trust scoring, claim verification, fabrication detection.
+#include <gtest/gtest.h>
+
+#include "calib/trust.hpp"
+#include "util/rng.hpp"
+
+namespace cal = speccal::calib;
+namespace g = speccal::geo;
+
+namespace {
+
+/// Survey with physically-consistent receptions: RSSI decays with range.
+cal::SurveyResult honest_survey(std::size_t count = 30) {
+  cal::SurveyResult survey;
+  speccal::util::Rng rng(5);
+  for (std::size_t i = 0; i < count; ++i) {
+    cal::AirplaneObservation obs;
+    obs.icao = static_cast<std::uint32_t>(i + 1);
+    obs.range_km = 10.0 + static_cast<double>(i) * 3.0;
+    obs.azimuth_deg = rng.uniform(0.0, 360.0);
+    obs.received = true;
+    obs.messages = 20;
+    // Free-space-ish decay plus a little fading.
+    obs.best_rssi_dbfs = -20.0 - 20.0 * std::log10(obs.range_km) + rng.normal(0.0, 1.5);
+    survey.observations.push_back(obs);
+  }
+  return survey;
+}
+
+cal::FovEstimate open_fov() {
+  cal::FovEstimate est;
+  est.open_fraction_deg = 0.95;
+  est.open_sectors = g::SectorSet({{0.0, 0.0}});
+  return est;
+}
+
+cal::Classification outdoor_cls() {
+  cal::Classification cls;
+  cls.type = cal::InstallationType::kOutdoorOpen;
+  cls.confidence = 0.8;
+  return cls;
+}
+
+cal::NodeClaims honest_claims() {
+  cal::NodeClaims claims;
+  claims.node_id = "n1";
+  claims.min_freq_hz = 400e6;
+  claims.max_freq_hz = 3e9;
+  claims.claims_outdoor = true;
+  claims.claims_omnidirectional = true;
+  return claims;
+}
+
+cal::FrequencyResponseReport clean_freq() {
+  cal::FrequencyResponseReport report;
+  cal::BandMeasurement m;
+  m.freq_hz = 731e6;
+  m.expected_dbm = -60.0;
+  m.measured_dbm = -61.0;
+  report.measurements.push_back(m);
+  m.freq_hz = 1970e6;
+  m.expected_dbm = -65.0;
+  m.measured_dbm = -66.0;
+  report.measurements.push_back(m);
+  return report;
+}
+
+}  // namespace
+
+TEST(Trust, HonestNodeScoresHigh) {
+  const auto report = cal::evaluate_trust(honest_claims(), honest_survey(),
+                                          open_fov(), clean_freq(), outdoor_cls());
+  EXPECT_GE(report.score, 90.0);
+  EXPECT_EQ(report.violations(), 0u);
+}
+
+TEST(Trust, FalseOmnidirectionalClaimDetected) {
+  cal::FovEstimate narrow;
+  narrow.open_fraction_deg = 0.2;
+  narrow.open_sectors = g::SectorSet({{250.0, 290.0}});
+  const auto report = cal::evaluate_trust(honest_claims(), honest_survey(), narrow,
+                                          clean_freq(), outdoor_cls());
+  EXPECT_GE(report.violations(), 1u);
+  EXPECT_LT(report.score, 90.0);
+}
+
+TEST(Trust, FalseOutdoorClaimDetected) {
+  cal::Classification indoor;
+  indoor.type = cal::InstallationType::kIndoorDeep;
+  indoor.confidence = 0.8;
+  const auto report = cal::evaluate_trust(honest_claims(), honest_survey(),
+                                          open_fov(), clean_freq(), indoor);
+  EXPECT_GE(report.violations(), 1u);
+  bool mentions = false;
+  for (const auto& f : report.findings)
+    mentions |= f.description.find("outdoor") != std::string::npos;
+  EXPECT_TRUE(mentions);
+}
+
+TEST(Trust, DeadClaimedBandPenalized) {
+  auto freq = clean_freq();
+  // A source inside the claimed range with catastrophic loss.
+  cal::BandMeasurement dead;
+  dead.freq_hz = 2.6e9;
+  dead.expected_dbm = -60.0;
+  dead.measured_dbm = std::nullopt;
+  freq.measurements.push_back(dead);
+  const auto report = cal::evaluate_trust(honest_claims(), honest_survey(),
+                                          open_fov(), freq, outdoor_cls());
+  bool flagged = false;
+  for (const auto& f : report.findings)
+    flagged |= f.description.find("frequency range") != std::string::npos;
+  EXPECT_TRUE(flagged);
+  // Outside the claimed range nothing is flagged.
+  cal::NodeClaims narrow_claims = honest_claims();
+  narrow_claims.max_freq_hz = 2.0e9;
+  const auto ok = cal::evaluate_trust(narrow_claims, honest_survey(), open_fov(),
+                                      freq, outdoor_cls());
+  EXPECT_GT(ok.score, report.score);
+}
+
+TEST(Fabrication, UnmatchedReceptionsFlagged) {
+  auto survey = honest_survey();
+  survey.unmatched_receptions = 10;  // a third of the stream is invented
+  const auto findings = cal::detect_fabrication(survey);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].severity, cal::Severity::kViolation);
+}
+
+TEST(Fabrication, FewUnmatchedTolerated) {
+  auto survey = honest_survey(40);
+  survey.unmatched_receptions = 1;  // decode slip, not fraud
+  for (const auto& f : cal::detect_fabrication(survey))
+    EXPECT_NE(f.description.find("RSSI"), std::string::npos);
+}
+
+TEST(Fabrication, RssiRisingWithRangeIsImpossible) {
+  cal::SurveyResult survey;
+  for (std::size_t i = 0; i < 30; ++i) {
+    cal::AirplaneObservation obs;
+    obs.icao = static_cast<std::uint32_t>(i + 1);
+    obs.range_km = 10.0 + static_cast<double>(i) * 3.0;
+    obs.received = true;
+    obs.best_rssi_dbfs = -60.0 + static_cast<double>(i);  // grows with range!
+    survey.observations.push_back(obs);
+  }
+  const auto findings = cal::detect_fabrication(survey);
+  bool violation = false;
+  for (const auto& f : findings)
+    violation |= f.severity == cal::Severity::kViolation &&
+                 f.description.find("RSSI") != std::string::npos;
+  EXPECT_TRUE(violation);
+}
+
+TEST(Fabrication, FlatRssiIsSuspicious) {
+  cal::SurveyResult survey;
+  for (std::size_t i = 0; i < 30; ++i) {
+    cal::AirplaneObservation obs;
+    obs.icao = static_cast<std::uint32_t>(i + 1);
+    obs.range_km = 10.0 + static_cast<double>(i) * 3.0;
+    obs.received = true;
+    obs.best_rssi_dbfs = -55.0;  // constant: copy-pasted readings
+    survey.observations.push_back(obs);
+  }
+  // Zero variance in RSSI: correlation undefined, but the rising-RSSI rule
+  // cannot fire; ensure we at least do not crash and produce no spurious
+  // position findings.
+  const auto findings = cal::detect_fabrication(survey);
+  for (const auto& f : findings)
+    EXPECT_EQ(f.description.find("positions"), std::string::npos);
+}
+
+TEST(Fabrication, MismatchedPositionsFlagged) {
+  cal::SurveyResult survey = honest_survey(10);
+  for (auto& obs : survey.observations) {
+    obs.position = {37.87, -122.27, 9000.0};
+    // Claimed decode 60 km away from where the aircraft actually is.
+    obs.decoded_position = g::destination(obs.position, 45.0, 60e3);
+  }
+  const auto findings = cal::detect_fabrication(survey);
+  bool flagged = false;
+  for (const auto& f : findings)
+    flagged |= f.description.find("positions") != std::string::npos;
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Trust, ScoreStaysInRange) {
+  // Stack every violation at once; score must clamp at 0.
+  auto survey = honest_survey();
+  survey.unmatched_receptions = 20;
+  cal::FovEstimate closed;
+  closed.open_fraction_deg = 0.0;
+  cal::Classification indoor;
+  indoor.type = cal::InstallationType::kIndoorDeep;
+  indoor.confidence = 0.9;
+  auto freq = clean_freq();
+  freq.measurements[0].measured_dbm = std::nullopt;
+  freq.measurements[1].measured_dbm = std::nullopt;
+  const auto report =
+      cal::evaluate_trust(honest_claims(), survey, closed, freq, indoor);
+  EXPECT_GE(report.score, 0.0);
+  EXPECT_LE(report.score, 100.0);
+  EXPECT_GE(report.violations(), 3u);
+}

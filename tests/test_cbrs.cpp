@@ -1,0 +1,121 @@
+// Tests: CBRS self-report verification (§3.3).
+#include <gtest/gtest.h>
+
+#include "cbrs/verify.hpp"
+#include "scenario/testbed.hpp"
+
+namespace cb = speccal::cbrs;
+namespace cal = speccal::calib;
+namespace sc = speccal::scenario;
+
+namespace {
+
+cal::CalibrationReport calibrate(sc::Site site) {
+  const auto world = sc::make_world(2023);
+  const auto setup = sc::make_site(site, 2023);
+  auto device = sc::make_node(setup, world, 2023);
+  cal::NodeClaims claims;
+  claims.node_id = sc::site_name(site);
+  cal::PipelineConfig cfg;
+  cfg.survey.fidelity = cal::Fidelity::kLinkBudget;
+  return cal::CalibrationPipeline(world, cfg).calibrate(*device, claims);
+}
+
+cb::CbsdRegistration registration_at(sc::Site site, bool indoor_claim,
+                                     cb::Category category) {
+  cb::CbsdRegistration reg;
+  reg.cbsd_id = sc::site_name(site);
+  reg.category = category;
+  reg.reported_position = sc::make_site(site, 2023).position;
+  reg.antenna_height_m = 3.0;
+  reg.indoor_deployment = indoor_claim;
+  reg.max_eirp_dbm = category == cb::Category::kB ? cb::kCatBMaxEirpDbm
+                                                  : cb::kCatAMaxEirpDbm;
+  return reg;
+}
+
+}  // namespace
+
+TEST(Cbrs, HonestIndoorDeviceVerified) {
+  const auto report = calibrate(sc::Site::kIndoor);
+  const auto reg = registration_at(sc::Site::kIndoor, true, cb::Category::kA);
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_EQ(result.verdict, cb::Verdict::kVerified);
+  // Indoor siting gets the indoor EIRP haircut.
+  EXPECT_LE(result.recommended_eirp_dbm, cb::kCatAMaxEirpDbm - 9.0);
+}
+
+TEST(Cbrs, OutdoorClaimFromIndoorSiteRejectedOrFlagged) {
+  const auto report = calibrate(sc::Site::kIndoor);
+  const auto reg = registration_at(sc::Site::kIndoor, false, cb::Category::kA);
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_NE(result.verdict, cb::Verdict::kVerified);
+  bool flagged = false;
+  for (const auto& f : result.findings)
+    flagged |= f.violation && f.description.find("outdoor") != std::string::npos;
+  EXPECT_TRUE(flagged);
+  // Power policy follows the evidence: still the indoor cap (or denial).
+  EXPECT_LE(result.recommended_eirp_dbm, cb::kCatAMaxEirpDbm - 9.0);
+}
+
+TEST(Cbrs, CategoryBRequiresOutdoor) {
+  const auto report = calibrate(sc::Site::kWindow);  // classified indoor
+  auto reg = registration_at(sc::Site::kWindow, false, cb::Category::kB);
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_EQ(result.verdict, cb::Verdict::kRejected);
+  EXPECT_LT(result.recommended_eirp_dbm, 0.0);  // grant denied
+}
+
+TEST(Cbrs, RooftopOutdoorDeviceVerified) {
+  const auto report = calibrate(sc::Site::kRooftop);
+  auto reg = registration_at(sc::Site::kRooftop, false, cb::Category::kA);
+  reg.antenna_height_m = 5.0;  // within the Cat A outdoor limit
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_EQ(result.verdict, cb::Verdict::kVerified);
+  EXPECT_NEAR(result.recommended_eirp_dbm, cb::kCatAMaxEirpDbm, 1e-9);
+}
+
+TEST(Cbrs, CatAOutdoorHeightLimit) {
+  const auto report = calibrate(sc::Site::kRooftop);
+  auto reg = registration_at(sc::Site::kRooftop, false, cb::Category::kA);
+  reg.antenna_height_m = 12.0;  // exceeds 6 m Cat A outdoor limit
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_NE(result.verdict, cb::Verdict::kVerified);
+}
+
+TEST(Cbrs, FalseLocationCaughtByRanging) {
+  // Device is physically at the rooftop but reports coordinates 30 km away:
+  // the towers it decodes loudly would be far from the claimed spot.
+  const auto report = calibrate(sc::Site::kRooftop);
+  auto reg = registration_at(sc::Site::kRooftop, false, cb::Category::kA);
+  reg.reported_position =
+      speccal::geo::destination(reg.reported_position, 135.0, 30e3);
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_NE(result.verdict, cb::Verdict::kVerified);
+  bool ranging_finding = false;
+  for (const auto& f : result.findings)
+    ranging_finding |= f.violation && f.description.find("ranging") != std::string::npos;
+  EXPECT_TRUE(ranging_finding);
+  EXPECT_GT(result.location_inconsistency_m, 10e3);
+}
+
+TEST(Cbrs, ConservativeMisreportOnlyWarns) {
+  // Claiming indoor while actually outdoor lowers the device's own power:
+  // not a violation, but noted.
+  const auto report = calibrate(sc::Site::kRooftop);
+  const auto reg = registration_at(sc::Site::kRooftop, true, cb::Category::kA);
+  const auto result = cb::CbsdVerifier{}.verify(reg, report);
+  EXPECT_EQ(result.verdict, cb::Verdict::kVerified);
+  bool noted = false;
+  for (const auto& f : result.findings)
+    noted |= !f.violation && f.description.find("conservative") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
+TEST(Cbrs, Strings) {
+  EXPECT_EQ(cb::to_string(cb::Verdict::kVerified), "verified");
+  EXPECT_EQ(cb::to_string(cb::Verdict::kFlagged), "flagged");
+  EXPECT_EQ(cb::to_string(cb::Verdict::kRejected), "rejected");
+  EXPECT_EQ(cb::to_string(cb::Category::kA), "Category A");
+  EXPECT_EQ(cb::to_string(cb::Category::kB), "Category B");
+}

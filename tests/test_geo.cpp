@@ -1,0 +1,171 @@
+// Unit tests: WGS-84 geodesy and azimuth sectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/sector.hpp"
+#include "geo/wgs84.hpp"
+#include "util/units.hpp"
+
+namespace g = speccal::geo;
+
+// --------------------------------------------------------------- geodesy ----
+
+TEST(Wgs84, EcefKnownPoint) {
+  // Equator / prime meridian at sea level -> (a, 0, 0).
+  const g::Ecef p = g::to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(p.x, g::kSemiMajorAxisM, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-6);
+  EXPECT_NEAR(p.z, 0.0, 1e-6);
+  // North pole -> (0, 0, b).
+  const g::Ecef n = g::to_ecef({90.0, 0.0, 0.0});
+  EXPECT_NEAR(n.x, 0.0, 1e-3);
+  EXPECT_NEAR(n.z, g::kSemiMinorAxisM, 1e-3);
+}
+
+class EcefRoundTrip : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EcefRoundTrip, Inverts) {
+  const auto [lat, lon, alt] = GetParam();
+  const g::Geodetic in{lat, lon, alt};
+  const g::Geodetic out = g::to_geodetic(g::to_ecef(in));
+  EXPECT_NEAR(out.lat_deg, lat, 1e-8);
+  EXPECT_NEAR(out.lon_deg, lon, 1e-8);
+  EXPECT_NEAR(out.alt_m, alt, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EcefRoundTrip,
+    ::testing::Values(std::make_tuple(0.0, 0.0, 0.0),
+                      std::make_tuple(37.87, -122.27, 20.0),
+                      std::make_tuple(-33.9, 151.2, 100.0),
+                      std::make_tuple(60.0, 10.0, 10000.0),
+                      std::make_tuple(-80.0, -170.0, 5000.0),
+                      std::make_tuple(45.0, 179.9, 0.0),
+                      std::make_tuple(5.0, 0.1, 12000.0)));
+
+TEST(Wgs84, EnuRoundTrip) {
+  const g::Geodetic ref{37.87, -122.27, 16.0};
+  const g::Enu local{1234.0, -567.0, 890.0};
+  const g::Geodetic p = g::from_enu(ref, local);
+  const g::Enu back = g::to_enu(ref, p);
+  EXPECT_NEAR(back.east, local.east, 1e-3);
+  EXPECT_NEAR(back.north, local.north, 1e-3);
+  EXPECT_NEAR(back.up, local.up, 1e-3);
+}
+
+TEST(Wgs84, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const double d = g::haversine_m({37.0, -122.0, 0}, {38.0, -122.0, 0});
+  EXPECT_NEAR(d, 111.2e3, 0.5e3);
+}
+
+TEST(Wgs84, SlantRangeIncludesAltitude) {
+  const g::Geodetic ground{37.87, -122.27, 0.0};
+  g::Geodetic above = ground;
+  above.alt_m = 10000.0;
+  EXPECT_NEAR(g::slant_range_m(ground, above), 10000.0, 1.0);
+  // Pythagorean mix of 3-4-5 (30 km ground, 40 km up is unphysical for
+  // aircraft but exercises the math).
+  const g::Geodetic east = g::destination(ground, 90.0, 30000.0);
+  g::Geodetic east_up = east;
+  east_up.alt_m = 40000.0;
+  EXPECT_NEAR(g::slant_range_m(ground, east_up), 50000.0, 100.0);
+}
+
+TEST(Wgs84, BearingCardinalDirections) {
+  const g::Geodetic origin{37.0, -122.0, 0.0};
+  for (double want : {0.0, 90.0, 180.0, 270.0}) {
+    const double got = g::bearing_deg(origin, g::destination(origin, want, 10e3));
+    EXPECT_LT(speccal::util::angular_distance_deg(got, want), 0.1) << want;
+  }
+}
+
+class DestinationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DestinationRoundTrip, DistanceAndBearingRecovered) {
+  const auto [bearing, distance] = GetParam();
+  const g::Geodetic origin{37.87, -122.27, 0.0};
+  const g::Geodetic dest = g::destination(origin, bearing, distance);
+  EXPECT_NEAR(g::haversine_m(origin, dest), distance, distance * 1e-3 + 0.5);
+  EXPECT_NEAR(g::bearing_deg(origin, dest), bearing, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DestinationRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 45.0, 137.0, 250.0, 359.0),
+                       ::testing::Values(1e3, 25e3, 100e3)));
+
+TEST(Wgs84, ElevationAngle) {
+  const g::Geodetic obs{37.87, -122.27, 0.0};
+  g::Geodetic target = g::destination(obs, 90.0, 10000.0);
+  target.alt_m = 10000.0;
+  EXPECT_NEAR(g::elevation_deg(obs, target), 45.0, 0.5);
+  target.alt_m = 0.0;
+  EXPECT_NEAR(g::elevation_deg(obs, target), 0.0, 0.5);
+}
+
+TEST(Wgs84, RadioHorizon) {
+  // ~412 km for a 10 km altitude transmitter against a ground receiver.
+  EXPECT_NEAR(g::radio_horizon_m(1.0, 10000.0) / 1e3, 416.5, 5.0);
+  EXPECT_DOUBLE_EQ(g::radio_horizon_m(0.0, 0.0), 0.0);
+  EXPECT_GT(g::radio_horizon_m(20.0, 10000.0), g::radio_horizon_m(1.0, 10000.0));
+}
+
+// --------------------------------------------------------------- sectors ----
+
+TEST(Sector, WidthAndContains) {
+  const g::Sector s{30.0, 90.0};
+  EXPECT_DOUBLE_EQ(s.width_deg(), 60.0);
+  EXPECT_TRUE(s.contains(30.0));
+  EXPECT_TRUE(s.contains(89.9));
+  EXPECT_FALSE(s.contains(90.0));  // half-open
+  EXPECT_FALSE(s.contains(200.0));
+  EXPECT_DOUBLE_EQ(s.center_deg(), 60.0);
+}
+
+TEST(Sector, WrapsThroughNorth) {
+  const g::Sector s{330.0, 30.0};
+  EXPECT_DOUBLE_EQ(s.width_deg(), 60.0);
+  EXPECT_TRUE(s.contains(350.0));
+  EXPECT_TRUE(s.contains(0.0));
+  EXPECT_TRUE(s.contains(29.0));
+  EXPECT_FALSE(s.contains(30.0));
+  EXPECT_FALSE(s.contains(180.0));
+  EXPECT_DOUBLE_EQ(s.center_deg(), 0.0);
+}
+
+TEST(Sector, FullCircle) {
+  const g::Sector s{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.width_deg(), 360.0);
+  EXPECT_TRUE(s.contains(123.4));
+}
+
+TEST(SectorSet, CoverageCountsOverlapsOnce) {
+  g::SectorSet set({{0.0, 90.0}, {45.0, 135.0}});
+  EXPECT_NEAR(set.coverage_deg(), 135.0, 1.0);
+  EXPECT_TRUE(set.contains(100.0));
+  EXPECT_FALSE(set.contains(200.0));
+}
+
+TEST(SectorSet, EmptyAndToString) {
+  g::SectorSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.coverage_deg(), 0.0);
+  EXPECT_EQ(empty.to_string(), "(none)");
+  g::SectorSet one({{10.0, 20.0}});
+  EXPECT_EQ(one.to_string(), "[10, 20)");
+}
+
+TEST(SectorSet, SimilarityProperties) {
+  const g::SectorSet a({{0.0, 90.0}});
+  const g::SectorSet b({{0.0, 90.0}});
+  const g::SectorSet c({{90.0, 180.0}});
+  const g::SectorSet half({{0.0, 45.0}});
+  EXPECT_DOUBLE_EQ(g::coverage_similarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(g::coverage_similarity(a, c), 0.0);
+  EXPECT_NEAR(g::coverage_similarity(a, half), 0.5, 0.01);
+  // Both empty: identical by convention.
+  EXPECT_DOUBLE_EQ(g::coverage_similarity(g::SectorSet{}, g::SectorSet{}), 1.0);
+}

@@ -1,0 +1,226 @@
+// Integration tests: the full calibration pipeline on the paper testbed.
+//
+// The surveys here run in link-budget fidelity (fast, same macro outcomes
+// as the waveform path — asserted separately in test_calib_survey); one
+// test exercises the full waveform pipeline on a short window.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/testbed.hpp"
+
+namespace cal = speccal::calib;
+namespace sc = speccal::scenario;
+
+namespace {
+
+cal::PipelineConfig fast_config() {
+  cal::PipelineConfig cfg;
+  cfg.survey.fidelity = cal::Fidelity::kLinkBudget;
+  cfg.survey.duration_s = 30.0;
+  return cfg;
+}
+
+cal::NodeClaims honest_claims(const std::string& id, bool outdoor, bool omni) {
+  cal::NodeClaims claims;
+  claims.node_id = id;
+  claims.min_freq_hz = 100e6;
+  claims.max_freq_hz = 6e9;
+  claims.claims_outdoor = outdoor;
+  claims.claims_omnidirectional = omni;
+  return claims;
+}
+
+cal::CalibrationReport calibrate_site(sc::Site site, const cal::NodeClaims& claims,
+                                      std::uint64_t seed = 2023,
+                                      cal::PipelineConfig cfg = fast_config()) {
+  const auto world = sc::make_world(seed);
+  const auto setup = sc::make_site(site, seed);
+  auto device = sc::make_node(setup, world, seed);
+  cal::CalibrationPipeline pipeline(world, cfg);
+  return pipeline.calibrate(*device, claims);
+}
+
+}  // namespace
+
+TEST(Pipeline, RooftopReproducesPaperShape) {
+  const auto report = calibrate_site(
+      sc::Site::kRooftop, honest_claims("rooftop", true, false));
+  // Figure 1(a): many aircraft received, far ones only in the west.
+  EXPECT_GT(report.survey.received_count(), 8u);
+  EXPECT_TRUE(report.fov.open_sectors.contains(280.0));
+  EXPECT_FALSE(report.fov.open_sectors.contains(90.0));
+  // Figure 3: all five towers decodable from the rooftop.
+  std::size_t decoded = 0;
+  for (const auto& m : report.cell_scan) decoded += m.decoded ? 1 : 0;
+  EXPECT_EQ(decoded, 5u);
+  // Outdoor verdict, honest claims -> no violations.
+  EXPECT_FALSE(report.classification.indoor());
+  EXPECT_EQ(report.trust.violations(), 0u);
+  EXPECT_GT(report.trust.score, 80.0);
+}
+
+TEST(Pipeline, WindowReproducesPaperShape) {
+  const auto report =
+      calibrate_site(sc::Site::kWindow, honest_claims("window", false, false));
+  // Figure 1(b): narrow field of view.
+  EXPECT_LT(report.fov.open_fraction_deg, 0.3);
+  EXPECT_GT(report.fov.open_fraction_deg, 0.03);
+  // Figure 3: towers 1-3 decodable, towers 4-5 (2660/2680 MHz) lost.
+  std::map<int, bool> by_freq;
+  for (const auto& m : report.cell_scan)
+    by_freq[static_cast<int>(m.cell.dl_freq_hz / 1e6)] = m.decoded;
+  EXPECT_TRUE(by_freq[731]);
+  EXPECT_TRUE(by_freq[1970]);
+  EXPECT_TRUE(by_freq[2145]);
+  EXPECT_FALSE(by_freq[2660]);
+  EXPECT_FALSE(by_freq[2680]);
+  // Indoor-ish verdict.
+  EXPECT_TRUE(report.classification.indoor());
+}
+
+TEST(Pipeline, IndoorReproducesPaperShape) {
+  const auto report =
+      calibrate_site(sc::Site::kIndoor, honest_claims("indoor", false, false));
+  // Figure 1(c): only close aircraft, little to no usable FoV.
+  EXPECT_LT(report.survey.received_count(), 10u);
+  EXPECT_LT(report.fov.open_fraction_deg, 0.1);
+  // Figure 3: only the 731 MHz tower survives the walls.
+  std::map<int, bool> by_freq;
+  for (const auto& m : report.cell_scan)
+    by_freq[static_cast<int>(m.cell.dl_freq_hz / 1e6)] = m.decoded;
+  EXPECT_TRUE(by_freq[731]);
+  EXPECT_FALSE(by_freq[1970]);
+  EXPECT_FALSE(by_freq[2145]);
+  EXPECT_FALSE(by_freq[2660]);
+  EXPECT_FALSE(by_freq[2680]);
+  EXPECT_EQ(report.classification.type, cal::InstallationType::kIndoorDeep);
+}
+
+TEST(Pipeline, Figure4AnomalyWindowSeesCh22Strong) {
+  const auto rooftop = calibrate_site(
+      sc::Site::kRooftop, honest_claims("rooftop", true, false));
+  const auto window =
+      calibrate_site(sc::Site::kWindow, honest_claims("window", false, false));
+
+  auto reading = [](const cal::CalibrationReport& r, int ch) {
+    for (const auto& reading : r.tv_readings)
+      if (reading.rf_channel == ch) return reading.power_dbfs;
+    return -999.0;
+  };
+  // Channel 22 (521 MHz): window ~= rooftop (tower inside the window FoV).
+  EXPECT_NEAR(reading(window, 22), reading(rooftop, 22), 4.0);
+  // The other channels drop substantially behind the window.
+  EXPECT_LT(reading(window, 14), reading(rooftop, 14) - 10.0);
+  EXPECT_LT(reading(window, 33), reading(rooftop, 33) - 10.0);
+}
+
+TEST(Pipeline, FalseClaimsLowerTrust) {
+  const auto honest =
+      calibrate_site(sc::Site::kIndoor, honest_claims("honest", false, false));
+  const auto liar =
+      calibrate_site(sc::Site::kIndoor, honest_claims("liar", true, true));
+  EXPECT_GT(honest.trust.score, liar.trust.score + 20.0);
+  EXPECT_GE(liar.trust.violations(), 2u);
+}
+
+TEST(Pipeline, TrustOrderingAcrossSites) {
+  // With identical (maximal) claims, the rooftop node is the most trusted
+  // and the indoor node the least.
+  const auto claims = honest_claims("n", true, true);
+  const auto rooftop = calibrate_site(sc::Site::kRooftop, claims);
+  const auto window = calibrate_site(sc::Site::kWindow, claims);
+  const auto indoor = calibrate_site(sc::Site::kIndoor, claims);
+  EXPECT_GT(rooftop.trust.score, indoor.trust.score);
+  EXPECT_GE(window.trust.violations(), 1u);
+}
+
+TEST(Pipeline, JsonReportIsWellFormed) {
+  const auto report = calibrate_site(
+      sc::Site::kWindow, honest_claims("json-node", false, false));
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"node_id\"", "\"survey\"", "\"field_of_view\"", "\"cell_scan\"",
+        "\"tv_sweep\"", "\"frequency_response\"", "\"classification\"", "\"trust\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  // Balanced braces/brackets outside string literals (no parser by design).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;          // skip escaped character
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{') ++braces;
+    else if (ch == '}') --braces;
+    else if (ch == '[') ++brackets;
+    else if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Pipeline, RegistryRanksAndFilters) {
+  cal::NodeRegistry registry;
+  registry.record(calibrate_site(sc::Site::kRooftop,
+                                 honest_claims("rooftop", true, false)));
+  registry.record(calibrate_site(sc::Site::kWindow,
+                                 honest_claims("window", true, true)));
+  registry.record(calibrate_site(sc::Site::kIndoor,
+                                 honest_claims("indoor", true, true)));
+  EXPECT_EQ(registry.size(), 3u);
+  const auto ranked = registry.ranked_by_trust();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked.front(), "rooftop");
+
+  // Mid-band monitoring toward the west: rooftop qualifies.
+  const auto usable = registry.usable_for(2145e6, 280.0);
+  EXPECT_NE(std::find(usable.begin(), usable.end(), "rooftop"), usable.end());
+  EXPECT_EQ(std::find(usable.begin(), usable.end(), "indoor"), usable.end());
+
+  EXPECT_NE(registry.find("window"), nullptr);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(Pipeline, WaveformFidelityEndToEnd) {
+  // Full physical pipeline on a short window: the macro shape holds.
+  cal::PipelineConfig cfg;
+  cfg.survey.fidelity = cal::Fidelity::kWaveform;
+  cfg.survey.duration_s = 6.0;
+  cfg.survey.ground_truth_query_at_s = 3.0;
+  const auto report = calibrate_site(
+      sc::Site::kRooftop, honest_claims("wf", true, false), 2023, cfg);
+  EXPECT_GT(report.survey.total_frames_decoded, 100u);
+  EXPECT_GT(report.survey.received_count(), 5u);
+  EXPECT_TRUE(report.fov.open_sectors.contains(280.0));
+  EXPECT_FALSE(report.classification.indoor());
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto a = calibrate_site(sc::Site::kWindow, honest_claims("d", false, false));
+  const auto b = calibrate_site(sc::Site::kWindow, honest_claims("d", false, false));
+  EXPECT_EQ(a.survey.received_count(), b.survey.received_count());
+  EXPECT_DOUBLE_EQ(a.trust.score, b.trust.score);
+  ASSERT_EQ(a.tv_readings.size(), b.tv_readings.size());
+  for (std::size_t i = 0; i < a.tv_readings.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.tv_readings[i].power_dbfs, b.tv_readings[i].power_dbfs);
+}
+
+TEST(Pipeline, HardwareAndLoFieldsPopulated) {
+  const auto report = calibrate_site(
+      sc::Site::kRooftop, honest_claims("hw", true, false));
+  // Healthy simulated node: no fault, reference within a fraction of a ppm.
+  EXPECT_TRUE(report.hardware.healthy());
+  EXPECT_FALSE(report.hardware.notes.empty());
+  ASSERT_TRUE(report.lo_calibration.usable());
+  EXPECT_NEAR(report.lo_calibration.ppm, 0.0, 0.3);
+  EXPECT_GE(report.lo_calibration.valid_count, 3u);
+}

@@ -1,0 +1,304 @@
+// Unit tests: propagation models, obstruction maps, fading, link budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prop/fading.hpp"
+#include "prop/linkbudget.hpp"
+#include "prop/obstruction.hpp"
+#include "prop/pathloss.hpp"
+
+namespace p = speccal::prop;
+namespace g = speccal::geo;
+
+// ------------------------------------------------------------- path loss ----
+
+TEST(PathLoss, FreeSpaceKnownValue) {
+  // FSPL(1 km, 1 GHz) = 92.45 dB (classic textbook value).
+  EXPECT_NEAR(p::free_space_path_loss_db(1000.0, 1e9), 92.45, 0.05);
+  // 20 dB per decade of distance.
+  EXPECT_NEAR(p::free_space_path_loss_db(10e3, 1e9) -
+                  p::free_space_path_loss_db(1e3, 1e9),
+              20.0, 1e-9);
+  // 20 dB per decade of frequency.
+  EXPECT_NEAR(p::free_space_path_loss_db(1e3, 10e9) -
+                  p::free_space_path_loss_db(1e3, 1e9),
+              20.0, 1e-9);
+}
+
+TEST(PathLoss, FreeSpaceClampsTinyDistance) {
+  EXPECT_DOUBLE_EQ(p::free_space_path_loss_db(0.0, 1e9),
+                   p::free_space_path_loss_db(1.0, 1e9));
+}
+
+TEST(PathLoss, LogDistanceExceedsFreeSpaceForUrbanExponent) {
+  for (double d : {500.0, 2e3, 20e3}) {
+    EXPECT_GT(p::log_distance_path_loss_db(d, 2e9, 3.0),
+              p::free_space_path_loss_db(d, 2e9) - 0.5)
+        << d;
+  }
+  // Exponent 2 at the reference distance equals free space exactly.
+  EXPECT_NEAR(p::log_distance_path_loss_db(100.0, 1e9, 2.0, 100.0),
+              p::free_space_path_loss_db(100.0, 1e9), 1e-9);
+}
+
+TEST(PathLoss, TwoSlopeContinuousAtBreakpoint) {
+  const double just_below = p::two_slope_path_loss_db(4999.0, 600e6, 2.0, 3.5, 5000.0);
+  const double just_above = p::two_slope_path_loss_db(5001.0, 600e6, 2.0, 3.5, 5000.0);
+  EXPECT_NEAR(just_below, just_above, 0.05);
+  // Far slope is steeper: 3.5 * 10 dB/decade beyond the breakpoint.
+  const double at_bp = p::two_slope_path_loss_db(5e3, 600e6, 2.0, 3.5, 5e3);
+  const double at_10bp = p::two_slope_path_loss_db(50e3, 600e6, 2.0, 3.5, 5e3);
+  EXPECT_NEAR(at_10bp - at_bp, 35.0, 0.1);
+}
+
+TEST(PathLoss, MonotonicInDistance) {
+  double prev = 0.0;
+  for (double d = 200.0; d < 100e3; d *= 1.7) {
+    const double v = p::two_slope_path_loss_db(d, 600e6, 2.0, 3.5, 10e3);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PathLoss, BuildingEntryRisesWithFrequency) {
+  // The core physical effect the paper exploits: low band penetrates.
+  const double at_700m = p::building_entry_loss_db(700e6, p::BuildingClass::kTraditional);
+  const double at_2g = p::building_entry_loss_db(2.0e9, p::BuildingClass::kTraditional);
+  const double at_6g = p::building_entry_loss_db(6.0e9, p::BuildingClass::kTraditional);
+  EXPECT_LT(at_700m, at_2g);
+  EXPECT_LT(at_2g, at_6g);
+  // ITU P.2109 median at 1 GHz, traditional: ~12.6 dB.
+  EXPECT_NEAR(p::building_entry_loss_db(1e9, p::BuildingClass::kTraditional), 12.64, 0.1);
+  // Thermally-efficient buildings lose much more.
+  EXPECT_GT(p::building_entry_loss_db(2e9, p::BuildingClass::kThermallyEfficient),
+            at_2g + 5.0);
+}
+
+TEST(PathLoss, WindowPenetrationMildAndRising) {
+  const double low = p::window_penetration_loss_db(600e6);
+  const double high = p::window_penetration_loss_db(3e9);
+  EXPECT_GT(low, 0.0);
+  EXPECT_LT(low, 10.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(PathLoss, NoiseFloor) {
+  // kTB over 2 MHz with 7 dB NF: about -104 dBm.
+  EXPECT_NEAR(p::noise_floor_dbm(2e6, 7.0), -104.0, 0.2);
+  EXPECT_NEAR(p::noise_floor_dbm(2e6, 0.0) - p::noise_floor_dbm(2e6, 7.0), -7.0, 1e-9);
+}
+
+// ----------------------------------------------------------- obstruction ----
+
+TEST(Obstruction, ScreenAppliesInsideSectorOnly) {
+  p::ObstructionMap map;
+  p::Screen screen;
+  screen.sector = {90.0, 180.0};
+  screen.loss_at_1ghz_db = 20.0;
+  screen.loss_slope_db_per_decade = 0.0;
+  map.add_screen(screen);
+  EXPECT_NEAR(map.loss_db(135.0, 0.0, 1e9), 20.0, 1e-9);
+  EXPECT_NEAR(map.loss_db(45.0, 0.0, 1e9), 0.0, 1e-9);
+  EXPECT_NEAR(map.loss_db(181.0, 0.0, 1e9), 0.0, 1e-9);
+}
+
+TEST(Obstruction, ElevationEscapesScreen) {
+  p::ObstructionMap map;
+  p::Screen screen;
+  screen.sector = {0.0, 0.0};  // whole horizon
+  screen.loss_at_1ghz_db = 25.0;
+  screen.max_elevation_deg = 30.0;
+  map.add_screen(screen);
+  EXPECT_GT(map.loss_db(10.0, 10.0, 1e9), 20.0);
+  EXPECT_NEAR(map.loss_db(10.0, 45.0, 1e9), 0.0, 1e-9);  // overhead ray clears
+}
+
+TEST(Obstruction, FrequencySlope) {
+  p::Screen screen;
+  screen.loss_at_1ghz_db = 20.0;
+  screen.loss_slope_db_per_decade = 10.0;
+  EXPECT_NEAR(screen.loss_db(1e9), 20.0, 1e-9);
+  EXPECT_NEAR(screen.loss_db(10e9), 30.0, 1e-9);
+  EXPECT_NEAR(screen.loss_db(100e6), 10.0, 1e-9);
+  // Never negative.
+  EXPECT_DOUBLE_EQ(screen.loss_db(1e7), 0.0);
+}
+
+TEST(Obstruction, LeakageCeilingCapsTotalLoss) {
+  p::ObstructionMap map;
+  map.set_omni_loss(40.0, 0.0);
+  p::Screen screen;
+  screen.sector = {0.0, 180.0};
+  screen.loss_at_1ghz_db = 40.0;
+  map.add_screen(screen);
+  map.set_leakage_ceiling_db(45.0);
+  EXPECT_DOUBLE_EQ(map.loss_db(90.0, 0.0, 1e9), 45.0);   // 80 capped to 45
+  EXPECT_DOUBLE_EQ(map.loss_db(270.0, 0.0, 1e9), 40.0);  // below the cap
+}
+
+TEST(Obstruction, ClearSectorsRecoverGeometry) {
+  p::ObstructionMap map;
+  p::Screen screen;
+  screen.sector = {0.0, 270.0};  // open only [270, 360)
+  screen.loss_at_1ghz_db = 30.0;
+  map.add_screen(screen);
+  const auto clear = map.clear_sectors(1e9, 10.0);
+  EXPECT_NEAR(clear.coverage_deg(), 90.0, 1.5);
+  EXPECT_TRUE(clear.contains(300.0));
+  EXPECT_FALSE(clear.contains(100.0));
+}
+
+TEST(Obstruction, ClearSectorsFullCircleWhenOpen) {
+  p::ObstructionMap map;
+  const auto clear = map.clear_sectors(1e9);
+  EXPECT_NEAR(clear.coverage_deg(), 360.0, 0.5);
+}
+
+TEST(Obstruction, ObstructedSectorsThreshold) {
+  p::ObstructionMap map;
+  p::Screen weak;
+  weak.sector = {0.0, 90.0};
+  weak.loss_at_1ghz_db = 5.0;
+  p::Screen strong;
+  strong.sector = {180.0, 270.0};
+  strong.loss_at_1ghz_db = 30.0;
+  map.add_screen(weak);
+  map.add_screen(strong);
+  const auto blocked = map.obstructed_sectors(1e9, 10.0);
+  EXPECT_FALSE(blocked.contains(45.0));
+  EXPECT_TRUE(blocked.contains(225.0));
+}
+
+// ----------------------------------------------------------------- fading ----
+
+TEST(Fading, DeterministicAndSeedDependent) {
+  p::FadingModel a(1, 4.0, 2.0), a2(1, 4.0, 2.0), b(2, 4.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.shadowing_db(7, 123.0, 5000.0), a2.shadowing_db(7, 123.0, 5000.0));
+  EXPECT_NE(a.shadowing_db(7, 123.0, 5000.0), b.shadowing_db(7, 123.0, 5000.0));
+  EXPECT_DOUBLE_EQ(a.fast_fading_db(7, 42), a2.fast_fading_db(7, 42));
+}
+
+TEST(Fading, SpatiallyCorrelatedBuckets) {
+  p::FadingModel m(3, 4.0, 2.0);
+  // Same 2-degree / 1-km bucket -> identical shadowing.
+  EXPECT_DOUBLE_EQ(m.shadowing_db(1, 100.2, 5100.0), m.shadowing_db(1, 100.9, 5900.0));
+  // Different bucket -> (almost surely) different.
+  EXPECT_NE(m.shadowing_db(1, 100.2, 5100.0), m.shadowing_db(1, 140.0, 80000.0));
+}
+
+TEST(Fading, ZeroSigmaIsZero) {
+  p::FadingModel m(4, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.shadowing_db(1, 10.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.fast_fading_db(1, 5), 0.0);
+}
+
+TEST(Fading, MomentsMatchSigma) {
+  p::FadingModel m(5, 4.0, 2.0);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = m.fast_fading_db(99, static_cast<std::uint64_t>(i));
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / kN), 2.0, 0.1);
+}
+
+// ------------------------------------------------------------ link budget ----
+
+TEST(LinkBudget, ComposesTerms) {
+  const g::Geodetic rx{37.87, -122.27, 10.0};
+  g::Geodetic tx = g::destination(rx, 90.0, 10e3);
+  tx.alt_m = 5000.0;
+
+  p::LinkInput in;
+  in.transmitter = tx;
+  in.receiver = rx;
+  in.freq_hz = 1090e6;
+  in.tx_power_dbm = 54.0;
+  in.rx_antenna_gain_dbi = 2.0;
+
+  p::LinkParams params;  // free space
+  const auto clear = p::evaluate_link(in, params, nullptr, nullptr);
+  EXPECT_NEAR(clear.rx_power_dbm,
+              54.0 + 2.0 - p::free_space_path_loss_db(clear.distance_m, 1090e6), 1e-9);
+  EXPECT_NEAR(clear.azimuth_deg, 90.0, 0.5);
+  EXPECT_GT(clear.elevation_deg, 20.0);
+  EXPECT_FALSE(clear.beyond_radio_horizon);
+
+  // Obstruction subtracts exactly its loss.
+  p::ObstructionMap map;
+  p::Screen screen;
+  screen.sector = {45.0, 135.0};
+  screen.loss_at_1ghz_db = 17.0;
+  screen.loss_slope_db_per_decade = 0.0;
+  map.add_screen(screen);
+  const auto blocked = p::evaluate_link(in, params, &map, nullptr);
+  EXPECT_NEAR(clear.rx_power_dbm - blocked.rx_power_dbm, 17.0, 1e-9);
+}
+
+TEST(LinkBudget, BeyondHorizonPenalized) {
+  const g::Geodetic rx{37.87, -122.27, 2.0};
+  g::Geodetic tx = g::destination(rx, 0.0, 450e3);  // past horizon for 10 km alt
+  tx.alt_m = 10e3;
+  p::LinkInput in;
+  in.transmitter = tx;
+  in.receiver = rx;
+  in.freq_hz = 1090e6;
+  in.tx_power_dbm = 57.0;
+  const auto res = p::evaluate_link(in, {}, nullptr, nullptr);
+  EXPECT_TRUE(res.beyond_radio_horizon);
+  // 60 dB beyond-horizon knife: undecodable in practice.
+  EXPECT_LT(res.rx_power_dbm, -130.0);
+}
+
+TEST(LinkBudget, ModelSelectionMatters) {
+  const g::Geodetic rx{37.87, -122.27, 10.0};
+  g::Geodetic tx = g::destination(rx, 180.0, 20e3);
+  tx.alt_m = 50.0;
+  p::LinkInput in;
+  in.transmitter = tx;
+  in.receiver = rx;
+  in.freq_hz = 600e6;
+  in.tx_power_dbm = 80.0;
+
+  p::LinkParams fs;
+  fs.model = p::PathModel::kFreeSpace;
+  p::LinkParams urban;
+  urban.model = p::PathModel::kLogDistance;
+  urban.exponent = 3.2;
+  EXPECT_GT(p::evaluate_link(in, fs, nullptr, nullptr).rx_power_dbm,
+            p::evaluate_link(in, urban, nullptr, nullptr).rx_power_dbm + 10.0);
+}
+
+TEST(PathLoss, HataUrbanKnownValue) {
+  // Textbook check: 900 MHz, 5 km, hb = 50 m, hm = 1.5 m => ~146 dB.
+  const double loss = p::hata_urban_path_loss_db(5e3, 900e6, 50.0, 1.5);
+  EXPECT_NEAR(loss, 146.0, 2.0);
+  // Exceeds free space massively (urban clutter).
+  EXPECT_GT(loss, p::free_space_path_loss_db(5e3, 900e6) + 30.0);
+}
+
+TEST(PathLoss, HataMonotonicAndOrdered) {
+  double prev = 0.0;
+  for (double d = 1e3; d <= 20e3; d *= 1.5) {
+    const double v = p::hata_urban_path_loss_db(d, 900e6, 50.0, 1.5);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  // Suburban < urban at identical geometry; taller base antenna helps.
+  EXPECT_LT(p::hata_suburban_path_loss_db(5e3, 900e6, 50.0, 1.5),
+            p::hata_urban_path_loss_db(5e3, 900e6, 50.0, 1.5));
+  EXPECT_LT(p::hata_urban_path_loss_db(5e3, 900e6, 100.0, 1.5),
+            p::hata_urban_path_loss_db(5e3, 900e6, 30.0, 1.5));
+}
+
+TEST(PathLoss, HataClampsOutOfEnvelope) {
+  // Inputs outside the empirical envelope clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(p::hata_urban_path_loss_db(100.0, 900e6, 50.0, 1.5),
+                   p::hata_urban_path_loss_db(1000.0, 900e6, 50.0, 1.5));
+  EXPECT_DOUBLE_EQ(p::hata_urban_path_loss_db(5e3, 3e9, 50.0, 1.5),
+                   p::hata_urban_path_loss_db(5e3, 1.5e9, 50.0, 1.5));
+}

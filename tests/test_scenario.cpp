@@ -1,0 +1,120 @@
+// Tests: the reconstructed paper testbed.
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.hpp"
+#include "tv/channels.hpp"
+
+namespace sc = speccal::scenario;
+namespace g = speccal::geo;
+
+TEST(Testbed, FiveTowersMatchPaperFigure2) {
+  const auto db = sc::make_cell_database();
+  ASSERT_EQ(db.cells().size(), 5u);
+  // Downlink centres from the paper: 731/1970/2145/2660/2680 MHz.
+  std::vector<double> freqs;
+  for (const auto& cell : db.cells()) freqs.push_back(cell.dl_freq_hz / 1e6);
+  std::sort(freqs.begin(), freqs.end());
+  const std::vector<double> want = {731, 1970, 2145, 2660, 2680};
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_DOUBLE_EQ(freqs[i], want[i]);
+  // "All of these towers are 500 to 1000 meters from the experiment site."
+  const auto origin = sc::testbed_origin();
+  for (const auto& cell : db.cells()) {
+    const double d = g::haversine_m(origin, cell.position);
+    EXPECT_GE(d, 450.0);
+    EXPECT_LE(d, 1100.0);
+  }
+}
+
+TEST(Testbed, TvStationsMatchPaperFigure4) {
+  const auto stations = sc::make_tv_stations();
+  ASSERT_EQ(stations.size(), 6u);
+  std::vector<double> freqs;
+  for (const auto& st : stations) freqs.push_back(st.carrier_hz / 1e6);
+  std::sort(freqs.begin(), freqs.end());
+  const std::vector<double> want = {213, 473, 521, 545, 587, 605};
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_DOUBLE_EQ(freqs[i], want[i]);
+  // "up to 50 km away"
+  const auto origin = sc::testbed_origin();
+  for (const auto& st : stations)
+    EXPECT_LE(g::haversine_m(origin, st.position), 51e3);
+  EXPECT_EQ(sc::figure4_channels().size(), 6u);
+}
+
+TEST(Testbed, SiteObstructionShapes) {
+  const auto rooftop = sc::make_site(sc::Site::kRooftop);
+  const auto window = sc::make_site(sc::Site::kWindow);
+  const auto indoor = sc::make_site(sc::Site::kIndoor);
+
+  // Rooftop: open to the west at 1090 MHz, blocked to the east.
+  EXPECT_LT(rooftop.obstructions->loss_db(280.0, 5.0, 1090e6), 1.0);
+  EXPECT_GT(rooftop.obstructions->loss_db(90.0, 5.0, 1090e6), 20.0);
+  // ... but overhead aircraft clear the screens.
+  EXPECT_LT(rooftop.obstructions->loss_db(90.0, 50.0, 1090e6), 1.0);
+
+  // Window: light loss through the glass sector, heavy elsewhere; the
+  // glass gets much worse with frequency (coating).
+  const double glass_low = window.obstructions->loss_db(270.0, 2.0, 600e6);
+  const double glass_high = window.obstructions->loss_db(270.0, 2.0, 2600e6);
+  EXPECT_LT(glass_low, 8.0);
+  EXPECT_GT(glass_high, 15.0);
+  EXPECT_GT(window.obstructions->loss_db(90.0, 2.0, 1090e6), 25.0);
+
+  // Indoor: omnidirectional loss, no open direction.
+  for (double az : {0.0, 90.0, 180.0, 270.0})
+    EXPECT_GT(indoor.obstructions->loss_db(az, 2.0, 1090e6), 20.0);
+
+  // Paper: "700 MHz signals can penetrate buildings much better".
+  EXPECT_LT(indoor.obstructions->loss_db(0.0, 2.0, 731e6),
+            indoor.obstructions->loss_db(0.0, 2.0, 1970e6) - 8.0);
+}
+
+TEST(Testbed, SitesShareTheBlock) {
+  const auto origin = sc::testbed_origin();
+  for (auto site : {sc::Site::kRooftop, sc::Site::kWindow, sc::Site::kIndoor}) {
+    const auto setup = sc::make_site(site);
+    EXPECT_LT(g::haversine_m(origin, setup.position), 100.0);
+  }
+  EXPECT_GT(sc::make_site(sc::Site::kRooftop).position.alt_m,
+            sc::make_site(sc::Site::kWindow).position.alt_m);
+}
+
+TEST(Testbed, SiteNames) {
+  EXPECT_EQ(sc::site_name(sc::Site::kRooftop), "rooftop");
+  EXPECT_EQ(sc::site_name(sc::Site::kWindow), "behind-window");
+  EXPECT_EQ(sc::site_name(sc::Site::kIndoor), "indoor");
+}
+
+TEST(Testbed, Ch22StationInsideWindowSector) {
+  // The Figure-4 anomaly requires the 521 MHz tower inside the window FoV.
+  const auto window = sc::make_site(sc::Site::kWindow);
+  const auto origin = sc::testbed_origin();
+  for (const auto& st : sc::make_tv_stations()) {
+    if (std::abs(st.carrier_hz - 521e6) > 1.0) continue;
+    const double az = g::bearing_deg(window.position, st.position);
+    EXPECT_LT(window.obstructions->loss_db(az, 0.5, st.carrier_hz), 5.0);
+  }
+  (void)origin;
+}
+
+TEST(Testbed, WorldAndNodeWiring) {
+  const auto world = sc::make_world(7, 10);
+  EXPECT_NE(world.sky, nullptr);
+  EXPECT_EQ(world.sky->fleet().size(), 10u);
+  EXPECT_EQ(world.cells.cells().size(), 5u);
+  EXPECT_EQ(world.tv_channels.size(), 6u);
+  EXPECT_DOUBLE_EQ(world.ground_truth_latency_s, 10.0);
+
+  const auto site = sc::make_site(sc::Site::kRooftop, 7);
+  const auto node = sc::make_node(site, world, 7);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->info().driver, "sim-bladerf");
+  EXPECT_EQ(node->rx_environment().obstructions, site.obstructions.get());
+}
+
+TEST(Testbed, SkyDeterministicAcrossCalls) {
+  const auto sky1 = sc::make_sky(123, 20);
+  const auto sky2 = sc::make_sky(123, 20);
+  ASSERT_EQ(sky1->fleet().size(), sky2->fleet().size());
+  for (std::size_t i = 0; i < sky1->fleet().size(); ++i)
+    EXPECT_EQ(sky1->fleet()[i].icao, sky2->fleet()[i].icao);
+}

@@ -1,0 +1,100 @@
+// Tests: measurement scheduling (§5 end-to-end system).
+#include <gtest/gtest.h>
+
+#include "calib/scheduler.hpp"
+
+namespace cal = speccal::calib;
+
+TEST(Scheduler, CoverageFunctionProperties) {
+  // Zero aircraft cover nothing; infinite traffic covers everything.
+  EXPECT_DOUBLE_EQ(cal::expected_sector_coverage(0.0, 36), 0.0);
+  EXPECT_NEAR(cal::expected_sector_coverage(10000.0, 36), 1.0, 1e-6);
+  // Monotone in the aircraft count.
+  double prev = 0.0;
+  for (double n = 1.0; n < 200.0; n *= 1.5) {
+    const double c = cal::expected_sector_coverage(n, 36);
+    EXPECT_GT(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  // One aircraft in S sectors covers exactly 1/S.
+  EXPECT_NEAR(cal::expected_sector_coverage(1.0, 36), 1.0 / 36.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cal::expected_sector_coverage(5.0, 0), 0.0);
+}
+
+namespace {
+std::vector<cal::TrafficForecast> day_profile() {
+  // Quiet night, morning and evening rush.
+  std::vector<cal::TrafficForecast> f;
+  for (int h = 0; h < 24; ++h) {
+    double rate = 5.0;                    // overnight trickle
+    if (h >= 7 && h <= 10) rate = 60.0;   // morning bank
+    if (h >= 16 && h <= 20) rate = 80.0;  // evening bank
+    f.push_back({static_cast<double>(h), rate});
+  }
+  return f;
+}
+}  // namespace
+
+TEST(Scheduler, PicksBusyHoursFirst) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 3;
+  cfg.min_marginal_gain = 0.0;
+  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  ASSERT_EQ(schedule.windows.size(), 3u);
+  for (const auto& w : schedule.windows) {
+    EXPECT_TRUE((w.hour_of_day >= 7 && w.hour_of_day <= 10) ||
+                (w.hour_of_day >= 16 && w.hour_of_day <= 20))
+        << "picked quiet hour " << w.hour_of_day;
+  }
+}
+
+TEST(Scheduler, MarginalGainDecreases) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 6;
+  cfg.min_marginal_gain = 0.0;
+  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  // Re-sort by gain (output is sorted by hour) and check the greedy
+  // picks were decreasing.
+  std::vector<double> gains;
+  for (const auto& w : schedule.windows) gains.push_back(w.expected_new_coverage);
+  std::sort(gains.begin(), gains.end(), std::greater<>());
+  // Total coverage equals 1 - prod(1 - c_i) which the gains decompose.
+  double covered = 0.0;
+  for (double gain : gains) covered += gain;
+  EXPECT_NEAR(covered, schedule.expected_total_coverage, 1e-9);
+  EXPECT_GT(schedule.expected_total_coverage, 0.8);
+  EXPECT_LE(schedule.expected_total_coverage, 1.0);
+}
+
+TEST(Scheduler, StopsWhenGainExhausted) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 24;
+  cfg.min_marginal_gain = 0.05;
+  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  // With a 5% floor the long tail of redundant windows is skipped.
+  EXPECT_LT(schedule.windows.size(), 10u);
+  EXPECT_GE(schedule.windows.size(), 1u);
+}
+
+TEST(Scheduler, RespectsMaxWindows) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 2;
+  cfg.min_marginal_gain = 0.0;
+  EXPECT_EQ(cal::plan_measurements(day_profile(), cfg).windows.size(), 2u);
+}
+
+TEST(Scheduler, EmptyForecast) {
+  const auto schedule = cal::plan_measurements({});
+  EXPECT_TRUE(schedule.windows.empty());
+  EXPECT_DOUBLE_EQ(schedule.expected_total_coverage, 0.0);
+}
+
+TEST(Scheduler, OutputSortedByHour) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 5;
+  cfg.min_marginal_gain = 0.0;
+  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  for (std::size_t i = 1; i < schedule.windows.size(); ++i)
+    EXPECT_LT(schedule.windows[i - 1].hour_of_day, schedule.windows[i].hour_of_day);
+}

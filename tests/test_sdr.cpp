@@ -1,0 +1,296 @@
+// Unit tests: antenna model, simulated SDR front end, fixed emitters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "prop/pathloss.hpp"
+#include "sdr/antenna.hpp"
+#include "dsp/nco.hpp"
+#include "sdr/emitter.hpp"
+#include "sdr/sim.hpp"
+#include "util/units.hpp"
+
+namespace s = speccal::sdr;
+namespace d = speccal::dsp;
+namespace g = speccal::geo;
+using speccal::util::Rng;
+
+// -------------------------------------------------------------- antenna ----
+
+TEST(Antenna, IsotropicIsFlat) {
+  const auto iso = s::AntennaModel::isotropic();
+  for (double f : {100e6, 1e9, 6e9})
+    for (double az : {0.0, 90.0, 275.0}) EXPECT_DOUBLE_EQ(iso.gain_dbi(f, az), 0.0);
+}
+
+TEST(Antenna, WidebandInterpolatesAndRollsOff) {
+  const auto ant = s::AntennaModel::wideband_700_2700();
+  // Inside the rated band: near the tabulated values.
+  EXPECT_NEAR(ant.gain_dbi(1090e6), 2.5, 0.5);
+  EXPECT_NEAR(ant.gain_dbi(700e6), 2.0, 0.1);
+  // Below and above: steep roll-off, monotone with distance from band.
+  EXPECT_LT(ant.gain_dbi(100e6), -20.0);
+  EXPECT_LT(ant.gain_dbi(100e6), ant.gain_dbi(200e6));
+  EXPECT_LT(ant.gain_dbi(6e9), ant.gain_dbi(3.5e9));
+}
+
+TEST(Antenna, ValidationRejectsBadTables) {
+  EXPECT_THROW(s::AntennaModel("bad", {}), std::invalid_argument);
+  EXPECT_THROW(s::AntennaModel("bad", {{2e9, 0.0}, {1e9, 0.0}}), std::invalid_argument);
+}
+
+TEST(Antenna, DirectionalPattern) {
+  auto ant = s::AntennaModel::isotropic();
+  ant.set_directional(90.0, 20.0);
+  EXPECT_NEAR(ant.gain_dbi(1e9, 90.0), 0.0, 1e-9);    // boresight
+  EXPECT_NEAR(ant.gain_dbi(1e9, 270.0), -20.0, 1e-9); // back
+  const double side = ant.gain_dbi(1e9, 180.0);
+  EXPECT_LT(side, 0.0);
+  EXPECT_GT(side, -20.0);
+}
+
+TEST(Antenna, AttenuatedVariant) {
+  const auto base = s::AntennaModel::wideband_700_2700();
+  const auto broken = s::AntennaModel::attenuated(base, 12.0);
+  EXPECT_NEAR(base.gain_dbi(1e9) - broken.gain_dbi(1e9), 12.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- sdr -----
+
+namespace {
+s::RxEnvironment open_site() {
+  static const auto antenna = s::AntennaModel::isotropic();
+  s::RxEnvironment rx;
+  rx.position = {37.87, -122.27, 10.0};
+  rx.antenna = &antenna;
+  return rx;
+}
+}  // namespace
+
+TEST(SimulatedSdr, TuneRespectsLimits) {
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(1));
+  EXPECT_TRUE(dev.tune(1090e6, 2e6));
+  EXPECT_FALSE(dev.tune(10e6, 2e6));    // below 70 MHz
+  EXPECT_FALSE(dev.tune(7e9, 2e6));     // above 6 GHz
+  EXPECT_FALSE(dev.tune(1e9, 100e6));   // above max sample rate
+}
+
+TEST(SimulatedSdr, NoiseFloorMatchesKtbPlusNf) {
+  auto info = s::SimulatedSdr::bladerf_like_info();
+  info.noise_figure_db = 7.0;
+  s::SimulatedSdr dev(info, open_site(), Rng(2));
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(40.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  const auto buf = dev.capture(200000);
+  const double measured_dbfs = d::mean_power_dbfs(buf);
+  // Expected: kTB(2 MHz) + NF + gain - full_scale = -104 + 40 + 10 = -54 dBFS.
+  const double expected =
+      speccal::prop::noise_floor_dbm(2e6, 7.0) + 40.0 - info.full_scale_input_dbm;
+  EXPECT_NEAR(measured_dbfs, expected, 0.5);
+}
+
+TEST(SimulatedSdr, GainMapsDbmToDbfs) {
+  // A tone source with a known received power must appear at
+  // P_dBm + gain - full_scale dBFS.
+  struct ToneSource final : s::SignalSource {
+    double power_dbm;
+    explicit ToneSource(double p) : power_dbm(p) {}
+    void render(const s::CaptureContext&, std::span<d::Sample> accum) override {
+      const float amp = static_cast<float>(speccal::util::db_to_amplitude(power_dbm));
+      for (auto& v : accum) v += d::Sample(amp, 0.0f);
+    }
+  };
+  auto info = s::SimulatedSdr::bladerf_like_info();
+  s::SimulatedSdr dev(info, open_site(), Rng(3));
+  dev.add_source(std::make_shared<ToneSource>(-60.0));
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(30.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  const auto buf = dev.capture(100000);
+  EXPECT_NEAR(d::mean_power_dbfs(buf), -60.0 + 30.0 + 10.0, 0.5);
+}
+
+TEST(SimulatedSdr, AgcHitsTarget) {
+  struct ToneSource final : s::SignalSource {
+    void render(const s::CaptureContext&, std::span<d::Sample> accum) override {
+      const float amp = static_cast<float>(speccal::util::db_to_amplitude(-50.0));
+      for (auto& v : accum) v += d::Sample(amp, 0.0f);
+    }
+  };
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(4));
+  dev.add_source(std::make_shared<ToneSource>());
+  dev.set_gain_mode(s::GainMode::kAgc);
+  dev.set_agc_target_dbfs(-12.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  const auto buf = dev.capture(50000);
+  EXPECT_NEAR(d::mean_power_dbfs(buf), -12.0, 1.0);
+}
+
+TEST(SimulatedSdr, AdcClipsAtFullScale) {
+  struct LoudSource final : s::SignalSource {
+    void render(const s::CaptureContext&, std::span<d::Sample> accum) override {
+      for (auto& v : accum) v += d::Sample(100.0f, -100.0f);
+    }
+  };
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(5));
+  dev.add_source(std::make_shared<LoudSource>());
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(0.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  for (const auto& v : dev.capture(100)) {
+    EXPECT_LE(std::fabs(v.real()), 1.0f);
+    EXPECT_LE(std::fabs(v.imag()), 1.0f);
+  }
+}
+
+TEST(SimulatedSdr, StreamClockAdvances) {
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(6));
+  ASSERT_TRUE(dev.tune(1e9, 1e6));
+  EXPECT_DOUBLE_EQ(dev.stream_time_s(), 0.0);
+  (void)dev.capture(500000);
+  EXPECT_NEAR(dev.stream_time_s(), 0.5, 1e-9);
+  dev.advance_time(2.0);
+  EXPECT_NEAR(dev.stream_time_s(), 2.5, 1e-9);
+}
+
+TEST(SimulatedSdr, OutOfRangeTuneYieldsNoiseOnly) {
+  struct ToneSource final : s::SignalSource {
+    void render(const s::CaptureContext&, std::span<d::Sample> accum) override {
+      for (auto& v : accum) v += d::Sample(0.1f, 0.0f);
+    }
+  };
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(7));
+  dev.add_source(std::make_shared<ToneSource>());
+  dev.set_gain_db(0.0);
+  EXPECT_FALSE(dev.tune(10e9, 2e6));
+  const auto buf = dev.capture(10000);
+  EXPECT_LT(d::mean_power_dbfs(buf), -60.0);  // just the noise floor
+}
+
+// -------------------------------------------------------------- emitter ----
+
+TEST(Emitter, ReceivedPowerAppearsInCapture) {
+  s::EmitterConfig cfg;
+  cfg.emitter_id = 9;
+  cfg.position = g::destination({37.87, -122.27, 10.0}, 90.0, 20e3);
+  cfg.position.alt_m = 200.0;
+  cfg.carrier_hz = 521e6;
+  cfg.bandwidth_hz = 5.38e6;
+  cfg.eirp_dbm = 80.0;
+  cfg.link.model = speccal::prop::PathModel::kFreeSpace;
+
+  auto source = std::make_shared<s::FixedEmitterSource>(cfg, Rng(11));
+  const auto rx = open_site();
+  const double want_dbm = source->received_power_dbm(rx);
+
+  auto info = s::SimulatedSdr::bladerf_like_info();
+  s::SimulatedSdr dev(info, rx, Rng(12));
+  dev.add_source(source);
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(20.0);
+  ASSERT_TRUE(dev.tune(521e6, 8e6));
+  const auto buf = dev.capture(100000);
+  // Signal dominates the floor here, so total power ~= signal power.
+  EXPECT_NEAR(d::mean_power_dbfs(buf), want_dbm + 20.0 + 10.0, 1.0);
+}
+
+TEST(Emitter, SilentWhenOutOfBand) {
+  s::EmitterConfig cfg;
+  cfg.position = g::destination({37.87, -122.27, 10.0}, 0.0, 5e3);
+  cfg.carrier_hz = 521e6;
+  cfg.eirp_dbm = 90.0;
+  auto source = std::make_shared<s::FixedEmitterSource>(cfg, Rng(13));
+
+  s::CaptureContext ctx;
+  ctx.center_freq_hz = 700e6;  // channel nowhere near the capture
+  ctx.sample_rate_hz = 8e6;
+  ctx.sample_count = 1000;
+  const auto rx = open_site();
+  ctx.rx = &rx;
+  d::Buffer buf(1000, {0.0f, 0.0f});
+  source->render(ctx, buf);
+  for (const auto& v : buf) EXPECT_EQ(std::norm(v), 0.0f);
+}
+
+TEST(Emitter, PilotToneVisibleInSpectrum) {
+  s::EmitterConfig cfg;
+  cfg.emitter_id = 14;
+  cfg.position = g::destination({37.87, -122.27, 10.0}, 90.0, 10e3);
+  cfg.position.alt_m = 150.0;
+  cfg.carrier_hz = 521e6;
+  cfg.bandwidth_hz = 5.38e6;
+  cfg.eirp_dbm = 85.0;
+  cfg.link.model = speccal::prop::PathModel::kFreeSpace;
+  cfg.pilot_offset_hz = -2690559.0;  // ATSC pilot relative to centre
+
+  auto source = std::make_shared<s::FixedEmitterSource>(cfg, Rng(15));
+  s::CaptureContext ctx;
+  ctx.center_freq_hz = 521e6;
+  ctx.sample_rate_hz = 8e6;
+  ctx.sample_count = 1 << 14;
+  const auto rx = open_site();
+  ctx.rx = &rx;
+  d::Buffer buf(ctx.sample_count, {0.0f, 0.0f});
+  source->render(ctx, buf);
+
+  const auto ps = d::power_spectrum(buf);
+  const std::size_t pilot_bin =
+      d::bin_for_frequency(*cfg.pilot_offset_hz, 8e6, ps.size());
+  // The pilot bin should clearly exceed the median in-band bin.
+  const std::size_t mid_bin = d::bin_for_frequency(1e6, 8e6, ps.size());
+  EXPECT_GT(ps[pilot_bin], ps[mid_bin] * 5.0);
+}
+
+TEST(SimulatedSdr, FrontendLossAttenuatesSignalNotNoise) {
+  struct ToneSource final : s::SignalSource {
+    void render(const s::CaptureContext&, std::span<d::Sample> accum) override {
+      const float amp = static_cast<float>(speccal::util::db_to_amplitude(-50.0));
+      for (auto& v : accum) v += d::Sample(amp, 0.0f);
+    }
+  };
+  auto info = s::SimulatedSdr::bladerf_like_info();
+  info.frontend_loss_db = 10.0;
+  s::SimulatedSdr dev(info, open_site(), Rng(41));
+  dev.add_source(std::make_shared<ToneSource>());
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(30.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  // Signal arrives 10 dB down: -60 dBm effective -> -20 dBFS.
+  EXPECT_NEAR(d::mean_power_dbfs(dev.capture(100000)), -60.0 + 30.0 + 10.0, 0.5);
+
+  // The receiver's own thermal floor is NOT attenuated (it originates
+  // after the lossy cable).
+  s::SimulatedSdr quiet(info, open_site(), Rng(42));
+  quiet.set_gain_mode(s::GainMode::kManual);
+  quiet.set_gain_db(40.0);
+  ASSERT_TRUE(quiet.tune(1e9, 2e6));
+  const double floor = d::mean_power_dbfs(quiet.capture(100000));
+  EXPECT_NEAR(floor, speccal::prop::noise_floor_dbm(2e6, 7.0) + 40.0 + 10.0, 0.5);
+}
+
+TEST(SimulatedSdr, LoErrorShiftsReceivedTone) {
+  // A tone source pinned at an absolute RF frequency appears offset in the
+  // capture when the reference is off.
+  struct RfTone final : s::SignalSource {
+    void render(const s::CaptureContext& ctx, std::span<d::Sample> accum) override {
+      speccal::dsp::Nco nco(1e9 - ctx.center_freq_hz, ctx.sample_rate_hz);
+      for (auto& v : accum) v += nco.next() * 0.05f;
+    }
+  };
+  auto info = s::SimulatedSdr::bladerf_like_info();
+  info.lo_error_ppm = 10.0;  // at 1 GHz: 10 kHz shift
+  s::SimulatedSdr dev(info, open_site(), Rng(43));
+  dev.add_source(std::make_shared<RfTone>());
+  dev.set_gain_db(30.0);
+  ASSERT_TRUE(dev.tune(1e9, 2e6));
+  const auto buf = dev.capture(1 << 16);
+  const auto ps = d::power_spectrum(buf);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < ps.size(); ++k)
+    if (ps[k] > ps[best]) best = k;
+  double freq = static_cast<double>(best) * 2e6 / static_cast<double>(ps.size());
+  if (freq >= 1e6) freq -= 2e6;
+  EXPECT_NEAR(freq, -10e3, 100.0);  // shifted down by ppm * f
+}

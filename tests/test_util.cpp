@@ -1,0 +1,277 @@
+// Unit tests: util (rng, units, table, json).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace u = speccal::util;
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, DbRatioRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 27.5}) {
+    EXPECT_NEAR(u::ratio_to_db(u::db_to_ratio(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbmWattsKnownValues) {
+  EXPECT_NEAR(u::watts_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(u::watts_to_dbm(0.001), 0.0, 1e-12);
+  EXPECT_NEAR(u::dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(u::dbm_to_watts(-30.0), 1e-6, 1e-18);
+}
+
+TEST(Units, AmplitudeDb) {
+  EXPECT_NEAR(u::amplitude_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(u::db_to_amplitude(6.0206), 2.0, 1e-3);
+}
+
+TEST(Units, ThermalNoiseMinus174PerHz) {
+  EXPECT_NEAR(u::thermal_noise_dbm(1.0), -173.975, 0.01);
+  EXPECT_NEAR(u::thermal_noise_dbm(1e6), -113.975, 0.01);
+}
+
+TEST(Units, PowerSumDb) {
+  // Two equal powers add 3 dB.
+  EXPECT_NEAR(u::power_sum_db(-90.0, -90.0), -86.99, 0.01);
+  // A much weaker signal changes nothing measurable.
+  EXPECT_NEAR(u::power_sum_db(-50.0, -120.0), -50.0, 1e-4);
+}
+
+TEST(Units, WrapDegrees) {
+  EXPECT_DOUBLE_EQ(u::wrap_degrees(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(u::wrap_degrees(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(u::wrap_degrees(-90.0), 270.0);
+  EXPECT_DOUBLE_EQ(u::wrap_degrees(725.0), 5.0);
+}
+
+TEST(Units, AngularDistance) {
+  EXPECT_DOUBLE_EQ(u::angular_distance_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(u::angular_distance_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(u::angular_distance_deg(90.0, 90.0), 0.0);
+  EXPECT_DOUBLE_EQ(u::angular_distance_deg(-10.0, 10.0), 20.0);
+}
+
+TEST(Units, WavelengthAt1090MHz) {
+  EXPECT_NEAR(u::wavelength_m(1090e6), 0.275, 0.001);
+}
+
+TEST(Units, FrequencyLiterals) {
+  using namespace u::literals;
+  EXPECT_DOUBLE_EQ(1_GHz, 1e9);
+  EXPECT_DOUBLE_EQ(731_MHz, 731e6);
+  EXPECT_DOUBLE_EQ(1.5_MHz, 1.5e6);
+  EXPECT_DOUBLE_EQ(100_km, 100e3);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicFromSeed) {
+  u::Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool any_diff = false;
+  u::Rng a2(123);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2.next() != c.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  u::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  u::Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  u::Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMean) {
+  u::Rng rng(13);
+  for (double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double acc = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) acc += rng.poisson(mean);
+    EXPECT_NEAR(acc / kN, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  u::Rng rng(17);
+  double acc = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) acc += rng.exponential(2.0);
+  EXPECT_NEAR(acc / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdges) {
+  u::Rng rng(19);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ForkIndependentAndStable) {
+  u::Rng parent(21);
+  u::Rng childA = parent.fork(1);
+  u::Rng childA2 = parent.fork(1);
+  u::Rng childB = parent.fork(2);
+  EXPECT_EQ(childA.next(), childA2.next());       // same stream id -> same stream
+  EXPECT_NE(childA.next(), childB.next());        // different ids diverge
+  // Forking does not advance the parent.
+  u::Rng parent2(21);
+  (void)parent2.fork(1);
+  u::Rng parent3(21);
+  EXPECT_EQ(parent2.next(), parent3.next());
+}
+
+TEST(Rng, WorksWithStdShuffleConcept) {
+  static_assert(std::uniform_random_bit_generator<u::Rng>);
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, AlignsAndCounts) {
+  u::Table t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsBadShapes) {
+  EXPECT_THROW(u::Table({}), std::invalid_argument);
+  u::Table t({"x"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuoting) {
+  u::Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, FormatFixed) {
+  EXPECT_EQ(u::format_fixed(-93.456, 1), "-93.5");
+  EXPECT_EQ(u::format_fixed(std::nan(""), 1), "-");
+  EXPECT_EQ(u::format_fixed(std::nan(""), 1, "n/a"), "n/a");
+}
+
+TEST(Table, AsciiBar) {
+  EXPECT_EQ(u::ascii_bar(10.0, 0.0, 10.0, 4), "####");
+  EXPECT_EQ(u::ascii_bar(0.0, 0.0, 10.0, 4), "");
+  EXPECT_EQ(u::ascii_bar(5.0, 0.0, 10.0, 4), "##");
+  EXPECT_EQ(u::ascii_bar(99.0, 0.0, 10.0, 4), "####");  // clamped
+}
+
+// ----------------------------------------------------------------- json ----
+
+TEST(Json, ObjectWithMixedValues) {
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.begin_object();
+  w.key("s");
+  w.value("text");
+  w.key("n");
+  w.value(-12.5);
+  w.key("i");
+  w.value(42);
+  w.key("b");
+  w.value(true);
+  w.key("z");
+  w.null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"s":"text","n":-12.5,"i":42,"b":true,"z":null})");
+}
+
+TEST(Json, NestedArrays) {
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.begin_array();
+  w.value(1);
+  w.begin_array();
+  w.value(2);
+  w.end_array();
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[1,[2],3]");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.value("a\"b\\c\nd\te");
+  EXPECT_EQ(os.str(), R"("a\"b\\c\nd\te")");
+}
+
+TEST(Json, NanBecomesNull) {
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.value(std::nan(""));
+  EXPECT_EQ(os.str(), "null");
+}
+
+TEST(Json, RejectsProtocolErrors) {
+  {
+    std::ostringstream os;
+    u::JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream os;
+    u::JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    std::ostringstream os;
+    u::JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+}
