@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_antenna.dir/ablation_antenna.cpp.o"
+  "CMakeFiles/ablation_antenna.dir/ablation_antenna.cpp.o.d"
+  "ablation_antenna"
+  "ablation_antenna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decoder.dir/ablation_decoder.cpp.o"
+  "CMakeFiles/ablation_decoder.dir/ablation_decoder.cpp.o.d"
+  "ablation_decoder"
+  "ablation_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

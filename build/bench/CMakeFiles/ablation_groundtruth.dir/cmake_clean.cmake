@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_groundtruth.dir/ablation_groundtruth.cpp.o"
+  "CMakeFiles/ablation_groundtruth.dir/ablation_groundtruth.cpp.o.d"
+  "ablation_groundtruth"
+  "ablation_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_crosscheck.dir/exp10_crosscheck.cpp.o"
+  "CMakeFiles/exp10_crosscheck.dir/exp10_crosscheck.cpp.o.d"
+  "exp10_crosscheck"
+  "exp10_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_classification.dir/exp5_classification.cpp.o"
+  "CMakeFiles/exp5_classification.dir/exp5_classification.cpp.o.d"
+  "exp5_classification"
+  "exp5_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

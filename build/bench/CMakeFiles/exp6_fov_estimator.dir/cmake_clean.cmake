@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_fov_estimator.dir/exp6_fov_estimator.cpp.o"
+  "CMakeFiles/exp6_fov_estimator.dir/exp6_fov_estimator.cpp.o.d"
+  "exp6_fov_estimator"
+  "exp6_fov_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_fov_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

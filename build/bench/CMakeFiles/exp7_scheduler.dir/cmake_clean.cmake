@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_scheduler.dir/exp7_scheduler.cpp.o"
+  "CMakeFiles/exp7_scheduler.dir/exp7_scheduler.cpp.o.d"
+  "exp7_scheduler"
+  "exp7_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

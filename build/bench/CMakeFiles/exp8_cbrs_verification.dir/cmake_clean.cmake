@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_cbrs_verification.dir/exp8_cbrs_verification.cpp.o"
+  "CMakeFiles/exp8_cbrs_verification.dir/exp8_cbrs_verification.cpp.o.d"
+  "exp8_cbrs_verification"
+  "exp8_cbrs_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_cbrs_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

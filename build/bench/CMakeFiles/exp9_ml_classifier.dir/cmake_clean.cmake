@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_ml_classifier.dir/exp9_ml_classifier.cpp.o"
+  "CMakeFiles/exp9_ml_classifier.dir/exp9_ml_classifier.cpp.o.d"
+  "exp9_ml_classifier"
+  "exp9_ml_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_ml_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp9_ml_classifier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp9_ml_classifier.
+# This may be replaced when dependencies are built.

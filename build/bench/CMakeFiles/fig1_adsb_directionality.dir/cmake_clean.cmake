@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_adsb_directionality.dir/fig1_adsb_directionality.cpp.o"
+  "CMakeFiles/fig1_adsb_directionality.dir/fig1_adsb_directionality.cpp.o.d"
+  "fig1_adsb_directionality"
+  "fig1_adsb_directionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_adsb_directionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_testbed_geometry.dir/fig2_testbed_geometry.cpp.o"
+  "CMakeFiles/fig2_testbed_geometry.dir/fig2_testbed_geometry.cpp.o.d"
+  "fig2_testbed_geometry"
+  "fig2_testbed_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_testbed_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

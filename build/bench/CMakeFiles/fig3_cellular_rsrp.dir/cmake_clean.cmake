@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cellular_rsrp.dir/fig3_cellular_rsrp.cpp.o"
+  "CMakeFiles/fig3_cellular_rsrp.dir/fig3_cellular_rsrp.cpp.o.d"
+  "fig3_cellular_rsrp"
+  "fig3_cellular_rsrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cellular_rsrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

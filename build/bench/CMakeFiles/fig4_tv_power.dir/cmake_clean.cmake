@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tv_power.dir/fig4_tv_power.cpp.o"
+  "CMakeFiles/fig4_tv_power.dir/fig4_tv_power.cpp.o.d"
+  "fig4_tv_power"
+  "fig4_tv_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tv_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_adsb.dir/micro_adsb.cpp.o"
+  "CMakeFiles/micro_adsb.dir/micro_adsb.cpp.o.d"
+  "micro_adsb"
+  "micro_adsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_adsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsb_feed.dir/adsb_feed.cpp.o"
+  "CMakeFiles/adsb_feed.dir/adsb_feed.cpp.o.d"
+  "adsb_feed"
+  "adsb_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsb_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

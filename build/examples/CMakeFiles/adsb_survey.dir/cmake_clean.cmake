@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsb_survey.dir/adsb_survey.cpp.o"
+  "CMakeFiles/adsb_survey.dir/adsb_survey.cpp.o.d"
+  "adsb_survey"
+  "adsb_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsb_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

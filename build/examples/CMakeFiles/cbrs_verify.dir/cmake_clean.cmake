@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbrs_verify.dir/cbrs_verify.cpp.o"
+  "CMakeFiles/cbrs_verify.dir/cbrs_verify.cpp.o.d"
+  "cbrs_verify"
+  "cbrs_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbrs_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/site_survey.cpp" "examples/CMakeFiles/site_survey.dir/site_survey.cpp.o" "gcc" "examples/CMakeFiles/site_survey.dir/site_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/speccal_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbrs/CMakeFiles/speccal_cbrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/speccal_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/speccal_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/airtraffic/CMakeFiles/speccal_airtraffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/speccal_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/speccal_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/adsb/CMakeFiles/speccal_adsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/speccal_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/speccal_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/speccal_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("dsp")
+subdirs("prop")
+subdirs("sdr")
+subdirs("adsb")
+subdirs("airtraffic")
+subdirs("cellular")
+subdirs("tv")
+subdirs("monitor")
+subdirs("calib")
+subdirs("cbrs")
+subdirs("scenario")

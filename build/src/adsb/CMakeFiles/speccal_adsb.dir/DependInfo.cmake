@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adsb/altitude.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/altitude.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/altitude.cpp.o.d"
+  "/root/repo/src/adsb/callsign.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/callsign.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/callsign.cpp.o.d"
+  "/root/repo/src/adsb/cpr.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/cpr.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/cpr.cpp.o.d"
+  "/root/repo/src/adsb/crc.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/crc.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/crc.cpp.o.d"
+  "/root/repo/src/adsb/decoder.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/decoder.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/decoder.cpp.o.d"
+  "/root/repo/src/adsb/frame.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/frame.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/frame.cpp.o.d"
+  "/root/repo/src/adsb/io.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/io.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/io.cpp.o.d"
+  "/root/repo/src/adsb/ppm.cpp" "src/adsb/CMakeFiles/speccal_adsb.dir/ppm.cpp.o" "gcc" "src/adsb/CMakeFiles/speccal_adsb.dir/ppm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/speccal_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

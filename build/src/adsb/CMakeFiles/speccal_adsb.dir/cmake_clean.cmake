@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_adsb.dir/altitude.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/altitude.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/callsign.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/callsign.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/cpr.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/cpr.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/crc.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/crc.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/decoder.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/decoder.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/frame.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/frame.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/io.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/io.cpp.o.d"
+  "CMakeFiles/speccal_adsb.dir/ppm.cpp.o"
+  "CMakeFiles/speccal_adsb.dir/ppm.cpp.o.d"
+  "libspeccal_adsb.a"
+  "libspeccal_adsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_adsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeccal_adsb.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for speccal_adsb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airtraffic/adsb_source.cpp" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/adsb_source.cpp.o" "gcc" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/adsb_source.cpp.o.d"
+  "/root/repo/src/airtraffic/aircraft.cpp" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/aircraft.cpp.o" "gcc" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/aircraft.cpp.o.d"
+  "/root/repo/src/airtraffic/groundtruth.cpp" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/groundtruth.cpp.o" "gcc" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/groundtruth.cpp.o.d"
+  "/root/repo/src/airtraffic/sky.cpp" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/sky.cpp.o" "gcc" "src/airtraffic/CMakeFiles/speccal_airtraffic.dir/sky.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adsb/CMakeFiles/speccal_adsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/speccal_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/speccal_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/speccal_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

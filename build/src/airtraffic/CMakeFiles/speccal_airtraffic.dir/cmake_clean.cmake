@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_airtraffic.dir/adsb_source.cpp.o"
+  "CMakeFiles/speccal_airtraffic.dir/adsb_source.cpp.o.d"
+  "CMakeFiles/speccal_airtraffic.dir/aircraft.cpp.o"
+  "CMakeFiles/speccal_airtraffic.dir/aircraft.cpp.o.d"
+  "CMakeFiles/speccal_airtraffic.dir/groundtruth.cpp.o"
+  "CMakeFiles/speccal_airtraffic.dir/groundtruth.cpp.o.d"
+  "CMakeFiles/speccal_airtraffic.dir/sky.cpp.o"
+  "CMakeFiles/speccal_airtraffic.dir/sky.cpp.o.d"
+  "libspeccal_airtraffic.a"
+  "libspeccal_airtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_airtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/classify.cpp" "src/calib/CMakeFiles/speccal_calib.dir/classify.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/classify.cpp.o.d"
+  "/root/repo/src/calib/crosscheck.cpp" "src/calib/CMakeFiles/speccal_calib.dir/crosscheck.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/crosscheck.cpp.o.d"
+  "/root/repo/src/calib/fov.cpp" "src/calib/CMakeFiles/speccal_calib.dir/fov.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/fov.cpp.o.d"
+  "/root/repo/src/calib/freqresp.cpp" "src/calib/CMakeFiles/speccal_calib.dir/freqresp.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/freqresp.cpp.o.d"
+  "/root/repo/src/calib/hardware.cpp" "src/calib/CMakeFiles/speccal_calib.dir/hardware.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/hardware.cpp.o.d"
+  "/root/repo/src/calib/lo_calibration.cpp" "src/calib/CMakeFiles/speccal_calib.dir/lo_calibration.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/lo_calibration.cpp.o.d"
+  "/root/repo/src/calib/ml.cpp" "src/calib/CMakeFiles/speccal_calib.dir/ml.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/ml.cpp.o.d"
+  "/root/repo/src/calib/pipeline.cpp" "src/calib/CMakeFiles/speccal_calib.dir/pipeline.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/pipeline.cpp.o.d"
+  "/root/repo/src/calib/scheduler.cpp" "src/calib/CMakeFiles/speccal_calib.dir/scheduler.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/scheduler.cpp.o.d"
+  "/root/repo/src/calib/survey.cpp" "src/calib/CMakeFiles/speccal_calib.dir/survey.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/survey.cpp.o.d"
+  "/root/repo/src/calib/trust.cpp" "src/calib/CMakeFiles/speccal_calib.dir/trust.cpp.o" "gcc" "src/calib/CMakeFiles/speccal_calib.dir/trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/airtraffic/CMakeFiles/speccal_airtraffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/speccal_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/tv/CMakeFiles/speccal_tv.dir/DependInfo.cmake"
+  "/root/repo/build/src/adsb/CMakeFiles/speccal_adsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/speccal_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/speccal_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/speccal_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

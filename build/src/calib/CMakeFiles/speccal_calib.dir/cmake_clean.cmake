@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_calib.dir/classify.cpp.o"
+  "CMakeFiles/speccal_calib.dir/classify.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/crosscheck.cpp.o"
+  "CMakeFiles/speccal_calib.dir/crosscheck.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/fov.cpp.o"
+  "CMakeFiles/speccal_calib.dir/fov.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/freqresp.cpp.o"
+  "CMakeFiles/speccal_calib.dir/freqresp.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/hardware.cpp.o"
+  "CMakeFiles/speccal_calib.dir/hardware.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/lo_calibration.cpp.o"
+  "CMakeFiles/speccal_calib.dir/lo_calibration.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/ml.cpp.o"
+  "CMakeFiles/speccal_calib.dir/ml.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/pipeline.cpp.o"
+  "CMakeFiles/speccal_calib.dir/pipeline.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/scheduler.cpp.o"
+  "CMakeFiles/speccal_calib.dir/scheduler.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/survey.cpp.o"
+  "CMakeFiles/speccal_calib.dir/survey.cpp.o.d"
+  "CMakeFiles/speccal_calib.dir/trust.cpp.o"
+  "CMakeFiles/speccal_calib.dir/trust.cpp.o.d"
+  "libspeccal_calib.a"
+  "libspeccal_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

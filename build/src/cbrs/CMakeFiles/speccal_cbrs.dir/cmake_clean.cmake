@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_cbrs.dir/verify.cpp.o"
+  "CMakeFiles/speccal_cbrs.dir/verify.cpp.o.d"
+  "libspeccal_cbrs.a"
+  "libspeccal_cbrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_cbrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

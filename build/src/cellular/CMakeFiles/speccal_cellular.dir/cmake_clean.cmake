@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_cellular.dir/bands.cpp.o"
+  "CMakeFiles/speccal_cellular.dir/bands.cpp.o.d"
+  "CMakeFiles/speccal_cellular.dir/pss.cpp.o"
+  "CMakeFiles/speccal_cellular.dir/pss.cpp.o.d"
+  "CMakeFiles/speccal_cellular.dir/scanner.cpp.o"
+  "CMakeFiles/speccal_cellular.dir/scanner.cpp.o.d"
+  "CMakeFiles/speccal_cellular.dir/tower.cpp.o"
+  "CMakeFiles/speccal_cellular.dir/tower.cpp.o.d"
+  "libspeccal_cellular.a"
+  "libspeccal_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

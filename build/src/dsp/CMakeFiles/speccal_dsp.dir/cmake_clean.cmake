@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_dsp.dir/fft.cpp.o"
+  "CMakeFiles/speccal_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/speccal_dsp.dir/fir.cpp.o"
+  "CMakeFiles/speccal_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/speccal_dsp.dir/resampler.cpp.o"
+  "CMakeFiles/speccal_dsp.dir/resampler.cpp.o.d"
+  "CMakeFiles/speccal_dsp.dir/welch.cpp.o"
+  "CMakeFiles/speccal_dsp.dir/welch.cpp.o.d"
+  "CMakeFiles/speccal_dsp.dir/window.cpp.o"
+  "CMakeFiles/speccal_dsp.dir/window.cpp.o.d"
+  "libspeccal_dsp.a"
+  "libspeccal_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_geo.dir/sector.cpp.o"
+  "CMakeFiles/speccal_geo.dir/sector.cpp.o.d"
+  "CMakeFiles/speccal_geo.dir/wgs84.cpp.o"
+  "CMakeFiles/speccal_geo.dir/wgs84.cpp.o.d"
+  "libspeccal_geo.a"
+  "libspeccal_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

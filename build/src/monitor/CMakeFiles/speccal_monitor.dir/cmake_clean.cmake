@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_monitor.dir/occupancy.cpp.o"
+  "CMakeFiles/speccal_monitor.dir/occupancy.cpp.o.d"
+  "CMakeFiles/speccal_monitor.dir/rem.cpp.o"
+  "CMakeFiles/speccal_monitor.dir/rem.cpp.o.d"
+  "CMakeFiles/speccal_monitor.dir/scanner.cpp.o"
+  "CMakeFiles/speccal_monitor.dir/scanner.cpp.o.d"
+  "libspeccal_monitor.a"
+  "libspeccal_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prop/fading.cpp" "src/prop/CMakeFiles/speccal_prop.dir/fading.cpp.o" "gcc" "src/prop/CMakeFiles/speccal_prop.dir/fading.cpp.o.d"
+  "/root/repo/src/prop/linkbudget.cpp" "src/prop/CMakeFiles/speccal_prop.dir/linkbudget.cpp.o" "gcc" "src/prop/CMakeFiles/speccal_prop.dir/linkbudget.cpp.o.d"
+  "/root/repo/src/prop/obstruction.cpp" "src/prop/CMakeFiles/speccal_prop.dir/obstruction.cpp.o" "gcc" "src/prop/CMakeFiles/speccal_prop.dir/obstruction.cpp.o.d"
+  "/root/repo/src/prop/pathloss.cpp" "src/prop/CMakeFiles/speccal_prop.dir/pathloss.cpp.o" "gcc" "src/prop/CMakeFiles/speccal_prop.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_prop.dir/fading.cpp.o"
+  "CMakeFiles/speccal_prop.dir/fading.cpp.o.d"
+  "CMakeFiles/speccal_prop.dir/linkbudget.cpp.o"
+  "CMakeFiles/speccal_prop.dir/linkbudget.cpp.o.d"
+  "CMakeFiles/speccal_prop.dir/obstruction.cpp.o"
+  "CMakeFiles/speccal_prop.dir/obstruction.cpp.o.d"
+  "CMakeFiles/speccal_prop.dir/pathloss.cpp.o"
+  "CMakeFiles/speccal_prop.dir/pathloss.cpp.o.d"
+  "libspeccal_prop.a"
+  "libspeccal_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

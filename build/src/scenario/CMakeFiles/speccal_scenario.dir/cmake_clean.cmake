@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/speccal_scenario.dir/testbed.cpp.o.d"
+  "libspeccal_scenario.a"
+  "libspeccal_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

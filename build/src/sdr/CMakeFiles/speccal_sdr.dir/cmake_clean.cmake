@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_sdr.dir/antenna.cpp.o"
+  "CMakeFiles/speccal_sdr.dir/antenna.cpp.o.d"
+  "CMakeFiles/speccal_sdr.dir/emitter.cpp.o"
+  "CMakeFiles/speccal_sdr.dir/emitter.cpp.o.d"
+  "CMakeFiles/speccal_sdr.dir/sim.cpp.o"
+  "CMakeFiles/speccal_sdr.dir/sim.cpp.o.d"
+  "libspeccal_sdr.a"
+  "libspeccal_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

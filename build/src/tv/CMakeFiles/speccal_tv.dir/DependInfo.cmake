@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tv/channels.cpp" "src/tv/CMakeFiles/speccal_tv.dir/channels.cpp.o" "gcc" "src/tv/CMakeFiles/speccal_tv.dir/channels.cpp.o.d"
+  "/root/repo/src/tv/power_meter.cpp" "src/tv/CMakeFiles/speccal_tv.dir/power_meter.cpp.o" "gcc" "src/tv/CMakeFiles/speccal_tv.dir/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdr/CMakeFiles/speccal_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/speccal_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/speccal_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/speccal_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speccal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_tv.dir/channels.cpp.o"
+  "CMakeFiles/speccal_tv.dir/channels.cpp.o.d"
+  "CMakeFiles/speccal_tv.dir/power_meter.cpp.o"
+  "CMakeFiles/speccal_tv.dir/power_meter.cpp.o.d"
+  "libspeccal_tv.a"
+  "libspeccal_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

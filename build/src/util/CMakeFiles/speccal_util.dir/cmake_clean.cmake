@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speccal_util.dir/json.cpp.o"
+  "CMakeFiles/speccal_util.dir/json.cpp.o.d"
+  "CMakeFiles/speccal_util.dir/rng.cpp.o"
+  "CMakeFiles/speccal_util.dir/rng.cpp.o.d"
+  "CMakeFiles/speccal_util.dir/table.cpp.o"
+  "CMakeFiles/speccal_util.dir/table.cpp.o.d"
+  "libspeccal_util.a"
+  "libspeccal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speccal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

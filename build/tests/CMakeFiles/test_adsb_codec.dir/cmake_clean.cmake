@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adsb_codec.dir/test_adsb_codec.cpp.o"
+  "CMakeFiles/test_adsb_codec.dir/test_adsb_codec.cpp.o.d"
+  "test_adsb_codec"
+  "test_adsb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adsb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adsb_phy.dir/test_adsb_phy.cpp.o"
+  "CMakeFiles/test_adsb_phy.dir/test_adsb_phy.cpp.o.d"
+  "test_adsb_phy"
+  "test_adsb_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adsb_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airtraffic.dir/test_airtraffic.cpp.o"
+  "CMakeFiles/test_airtraffic.dir/test_airtraffic.cpp.o.d"
+  "test_airtraffic"
+  "test_airtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_classify.dir/test_calib_classify.cpp.o"
+  "CMakeFiles/test_calib_classify.dir/test_calib_classify.cpp.o.d"
+  "test_calib_classify"
+  "test_calib_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

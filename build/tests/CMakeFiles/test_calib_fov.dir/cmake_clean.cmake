@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_fov.dir/test_calib_fov.cpp.o"
+  "CMakeFiles/test_calib_fov.dir/test_calib_fov.cpp.o.d"
+  "test_calib_fov"
+  "test_calib_fov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_fov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_freq.dir/test_calib_freq.cpp.o"
+  "CMakeFiles/test_calib_freq.dir/test_calib_freq.cpp.o.d"
+  "test_calib_freq"
+  "test_calib_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

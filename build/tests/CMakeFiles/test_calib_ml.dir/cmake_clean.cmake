@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_ml.dir/test_calib_ml.cpp.o"
+  "CMakeFiles/test_calib_ml.dir/test_calib_ml.cpp.o.d"
+  "test_calib_ml"
+  "test_calib_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_survey.dir/test_calib_survey.cpp.o"
+  "CMakeFiles/test_calib_survey.dir/test_calib_survey.cpp.o.d"
+  "test_calib_survey"
+  "test_calib_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

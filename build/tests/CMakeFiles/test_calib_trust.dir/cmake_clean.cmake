@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_trust.dir/test_calib_trust.cpp.o"
+  "CMakeFiles/test_calib_trust.dir/test_calib_trust.cpp.o.d"
+  "test_calib_trust"
+  "test_calib_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_calib_trust.
+# This may be replaced when dependencies are built.

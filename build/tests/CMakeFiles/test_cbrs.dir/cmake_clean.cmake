@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbrs.dir/test_cbrs.cpp.o"
+  "CMakeFiles/test_cbrs.dir/test_cbrs.cpp.o.d"
+  "test_cbrs"
+  "test_cbrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
