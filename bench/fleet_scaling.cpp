@@ -1,0 +1,115 @@
+// Fleet calibration scaling: nodes/sec at 1, 2, 4, 8 worker threads over a
+// 20-node fleet, verifying that the parallel engine's output is
+// bitwise-identical to the serial run (per-node device construction and
+// RNG seeding leave no shared mutable state to race on).
+//
+// Speedup tracks the host's core count; on a single-core container every
+// row degenerates to ~1x while the identity check still bites.
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "calib/fleet.hpp"
+#include "scenario/testbed.hpp"
+#include "util/table.hpp"
+
+using namespace speccal;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 13;
+constexpr std::size_t kFleetSize = 20;
+
+std::vector<calib::FleetJob> make_jobs(const calib::WorldModel& world) {
+  std::vector<calib::FleetJob> jobs;
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    const auto site = static_cast<scenario::Site>(i % 3);
+    calib::FleetJob job;
+    job.claims.node_id = "node-" + std::to_string(i);
+    job.claims.min_freq_hz = 100e6;
+    job.claims.max_freq_hz = 6e9;
+    job.claims.claims_outdoor = site != scenario::Site::kIndoor;
+    job.claims.claims_omnidirectional = i % 5 == 0;
+    job.make_device = [&world, site]() {
+      return scenario::make_owned_node(site, world, kSeed);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// The bitwise fingerprint of one calibration outcome.
+struct NodeFingerprint {
+  double trust_score;
+  double fov_open_fraction;
+  double mean_attenuation_db;
+};
+
+std::vector<NodeFingerprint> fingerprints(const calib::NodeRegistry& registry) {
+  std::vector<NodeFingerprint> out;
+  registry.for_each_report([&](const calib::CalibrationReport& report) {
+    out.push_back({report.trust.score, report.fov.open_fraction_deg,
+                   report.frequency_response.mean_attenuation_db});
+  });
+  return out;
+}
+
+bool bitwise_equal(const std::vector<NodeFingerprint>& a,
+                   const std::vector<NodeFingerprint>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(NodeFingerprint)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  const auto world = scenario::make_world(kSeed);
+
+  calib::PipelineConfig cfg;
+  cfg.survey.fidelity = calib::Fidelity::kLinkBudget;
+
+  std::cout << "Fleet scaling: " << kFleetSize << " nodes, hardware threads = "
+            << std::thread::hardware_concurrency() << "\n";
+
+  std::vector<NodeFingerprint> serial;
+  double serial_rate = 0.0;
+
+  util::Table table({"threads", "wall s", "nodes/s", "speedup", "identical"});
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    calib::FleetConfig fleet_cfg;
+    fleet_cfg.threads = threads;
+    calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
+                                      fleet_cfg);
+    calib::NodeRegistry registry;
+    const auto summary = calibrator.run(make_jobs(world), registry);
+    if (summary.calibrated != kFleetSize || summary.failed != 0) {
+      std::cerr << "FAIL: batch incomplete at " << threads << " threads ("
+                << summary.calibrated << " calibrated, " << summary.failed
+                << " failed)\n";
+      return 1;
+    }
+
+    const auto prints = fingerprints(registry);
+    bool identical = true;
+    if (threads == 1) {
+      serial = prints;
+      serial_rate = summary.nodes_per_s;
+    } else {
+      identical = bitwise_equal(serial, prints);
+    }
+    table.add_row({std::to_string(threads),
+                   util::format_fixed(summary.wall_s, 3),
+                   util::format_fixed(summary.nodes_per_s, 2),
+                   util::format_fixed(summary.nodes_per_s / serial_rate, 2) + "x",
+                   identical ? "yes" : "NO"});
+    if (!identical) {
+      std::cerr << "FAIL: parallel output diverged from serial at " << threads
+                << " threads\n";
+      return 1;
+    }
+  }
+  table.set_title("FleetCalibrator scaling (link-budget fidelity)");
+  table.print(std::cout);
+  return 0;
+}

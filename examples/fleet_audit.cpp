@@ -3,13 +3,17 @@
 //  rent these services ... how can users trust the quality of data offered
 //  by each operator?"
 //
-// Builds a fleet of nodes with varied siting and varied honesty, calibrates
-// every one through the pipeline, and prints the marketplace view: trust
-// ranking, verified capabilities, and which nodes can serve a concrete
-// monitoring request (mid-band, toward the west).
+// Builds a ~20-node fleet with varied siting and varied honesty and pushes
+// it through the parallel FleetCalibrator (serial fallback: threads=1).
+// Each worker constructs its own seeded device, so the trust scores are
+// bitwise-identical no matter how many threads run. Prints the marketplace
+// view — trust ranking, verified capabilities, who can serve a concrete
+// monitoring request — plus the fleet-wide stage-timing percentiles from
+// the pipeline's instrumentation layer.
 #include <iostream>
 #include <vector>
 
+#include "calib/fleet.hpp"
 #include "scenario/testbed.hpp"
 #include "util/table.hpp"
 
@@ -25,38 +29,93 @@ struct FleetEntry {
   double claimed_max_ghz;
 };
 
+/// ~20 operators: honest rooftops, modest window sites, indoor nodes, and a
+/// sprinkling of liars who oversell their siting or frequency range.
+std::vector<FleetEntry> generate_fleet(std::size_t count) {
+  const char* names[] = {"alice", "bob",  "carol", "dave", "erin",  "frank",
+                         "grace", "henry", "iris",  "jack", "karen", "leo",
+                         "mona",  "nick",  "olive", "pete", "quinn", "rosa",
+                         "sam",   "tess",  "uma",   "vic"};
+  std::vector<FleetEntry> fleet;
+  for (std::size_t i = 0; i < count; ++i) {
+    FleetEntry entry;
+    const auto site = static_cast<scenario::Site>(i % 3);
+    const bool liar = i % 4 == 3;  // every fourth operator oversells
+    entry.site = site;
+    entry.id = std::string(names[i % std::size(names)]) + "-" +
+               scenario::site_name(site) + (liar ? "-liar" : "");
+    switch (site) {
+      case scenario::Site::kRooftop:
+        entry.claims_outdoor = true;
+        entry.claims_omni = liar;  // rooftop is open west only
+        entry.claimed_max_ghz = 6.0;
+        break;
+      case scenario::Site::kWindow:
+        entry.claims_outdoor = liar;
+        entry.claims_omni = liar;
+        entry.claimed_max_ghz = liar ? 6.0 : 3.0;
+        break;
+      case scenario::Site::kIndoor:
+        entry.claims_outdoor = liar;
+        entry.claims_omni = liar;
+        entry.claimed_max_ghz = liar ? 6.0 : 1.0;
+        break;
+    }
+    fleet.push_back(std::move(entry));
+  }
+  return fleet;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 13;
-  const auto world = scenario::make_world(kSeed);
+  constexpr std::size_t kFleetSize = 20;
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
 
-  const std::vector<FleetEntry> fleet = {
-      {"alice-roof", scenario::Site::kRooftop, true, false, 6.0},
-      {"bob-roof-bold", scenario::Site::kRooftop, true, true, 6.0},
-      {"carol-window", scenario::Site::kWindow, false, false, 3.0},
-      {"dave-window-liar", scenario::Site::kWindow, true, true, 6.0},
-      {"erin-indoor", scenario::Site::kIndoor, false, false, 1.0},
-      {"frank-indoor-liar", scenario::Site::kIndoor, true, true, 6.0},
-  };
+  const auto world = scenario::make_world(kSeed);
+  const auto fleet = generate_fleet(kFleetSize);
 
   calib::PipelineConfig cfg;
   cfg.survey.fidelity = calib::Fidelity::kLinkBudget;  // fleet-scale sweep
-  calib::CalibrationPipeline pipeline(world, cfg);
-  calib::NodeRegistry registry;
 
-  std::cout << "Calibrating a fleet of " << fleet.size() << " nodes...\n";
+  calib::FleetConfig fleet_cfg;
+  fleet_cfg.threads = threads;
+  fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
+    std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
+              << (p.ok ? "" : "  (ABORTED)") << "\n";
+  };
+  calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
+                                    fleet_cfg);
+
+  std::cout << "Calibrating a fleet of " << fleet.size() << " nodes on "
+            << calibrator.effective_threads(fleet.size()) << " thread(s)...\n";
+
+  std::vector<calib::FleetJob> jobs;
   for (const auto& entry : fleet) {
-    const auto setup = scenario::make_site(entry.site, kSeed);
-    auto device = scenario::make_node(setup, world, kSeed);
-    calib::NodeClaims claims;
-    claims.node_id = entry.id;
-    claims.min_freq_hz = 100e6;
-    claims.max_freq_hz = entry.claimed_max_ghz * 1e9;
-    claims.claims_outdoor = entry.claims_outdoor;
-    claims.claims_omnidirectional = entry.claims_omni;
-    registry.record(pipeline.calibrate(*device, claims));
+    calib::FleetJob job;
+    job.claims.node_id = entry.id;
+    job.claims.min_freq_hz = 100e6;
+    job.claims.max_freq_hz = entry.claimed_max_ghz * 1e9;
+    job.claims.claims_outdoor = entry.claims_outdoor;
+    job.claims.claims_omnidirectional = entry.claims_omni;
+    // Each node's device is created on the worker that calibrates it, from
+    // the shared scenario seed only — no shared mutable state.
+    job.make_device = [&world, site = entry.site]() {
+      return scenario::make_owned_node(site, world, kSeed);
+    };
+    jobs.push_back(std::move(job));
   }
+
+  calib::NodeRegistry registry;
+  const calib::FleetSummary summary = calibrator.run(std::move(jobs), registry);
+
+  std::cout << "\nBatch: " << summary.calibrated << "/" << summary.total
+            << " calibrated (" << summary.failed << " aborted, "
+            << summary.skipped << " skipped) in "
+            << util::format_fixed(summary.wall_s, 2) << " s — "
+            << util::format_fixed(summary.nodes_per_s, 2) << " nodes/s\n";
 
   util::Table table({"rank", "node", "trust", "verified siting", "FoV open %",
                      "violations"});
@@ -73,6 +132,18 @@ int main() {
   table.set_title("Marketplace trust ranking");
   table.print(std::cout);
 
+  util::Table stages({"stage", "nodes", "p50 ms", "p90 ms", "max ms",
+                      "samples", "frames"});
+  for (const auto& row : summary.stage_stats.rows)
+    stages.add_row({calib::to_string(row.stage), std::to_string(row.nodes),
+                    util::format_fixed(row.p50_ms, 2),
+                    util::format_fixed(row.p90_ms, 2),
+                    util::format_fixed(row.max_ms, 2),
+                    std::to_string(row.samples_captured),
+                    std::to_string(row.frames_decoded)});
+  stages.set_title("Fleet-wide stage timing");
+  stages.print(std::cout);
+
   std::cout << "\nRequest: monitor 2145 MHz (AWS-1) toward azimuth 280\n";
   const auto capable = registry.usable_for(2145e6, 280.0);
   if (capable.empty()) {
@@ -86,13 +157,12 @@ int main() {
     std::cout << "  -> " << id << "\n";
 
   std::cout << "\nViolation details for flagged operators:\n";
-  for (const auto& id : registry.ranked_by_trust()) {
-    const auto* report = registry.find(id);
-    if (report->trust.violations() == 0) continue;
-    std::cout << "  " << id << ":\n";
-    for (const auto& f : report->trust.findings)
+  registry.for_each_report([](const calib::CalibrationReport& report) {
+    if (report.trust.violations() == 0) return;
+    std::cout << "  " << report.claims.node_id << ":\n";
+    for (const auto& f : report.trust.findings)
       if (f.severity == calib::Severity::kViolation)
         std::cout << "    - " << f.description << "\n";
-  }
+  });
   return 0;
 }

@@ -1,0 +1,117 @@
+#include "calib/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace speccal::calib {
+
+FleetCalibrator::FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config)
+    : pipeline_(std::move(pipeline)), config_(std::move(config)) {}
+
+unsigned FleetCalibrator::effective_threads(std::size_t jobs) const noexcept {
+  unsigned threads = config_.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(jobs, 1)));
+}
+
+FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& registry) {
+  using clock = std::chrono::steady_clock;
+  cancel_.store(false, std::memory_order_relaxed);
+
+  FleetSummary summary;
+  summary.total = jobs.size();
+  if (jobs.empty()) return summary;
+
+  const auto t0 = clock::now();
+  std::atomic<std::size_t> next{0};
+
+  // Guards the batch bookkeeping below and serializes the progress callback.
+  std::mutex book_mutex;
+  std::size_t completed = 0;
+  std::vector<StageMetrics> fleet_metrics;
+  fleet_metrics.reserve(jobs.size());
+
+  auto worker = [&]() {
+    for (;;) {
+      if (cancel_.load(std::memory_order_relaxed)) break;
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) break;
+      FleetJob& job = jobs[index];
+
+      CalibrationReport report;
+      std::string error;
+      try {
+        if (!job.make_device)
+          throw std::invalid_argument("fleet job carries no device factory");
+        const std::unique_ptr<sdr::Device> device = job.make_device();
+        if (device == nullptr)
+          throw std::runtime_error("device factory returned null");
+        pipeline_.calibrate_into(*device, job.claims, report);
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown exception during calibration";
+      }
+      if (!error.empty()) {
+        // Failure isolation: the node still gets a (flagged, zero-trust)
+        // report; the batch carries on.
+        report.claims = job.claims;
+        report.abort_reason = error;
+        report.trust.score = 0.0;
+        report.trust.findings.push_back(
+            {Severity::kViolation, "calibration aborted: " + error});
+      }
+
+      const StageMetrics metrics = report.metrics;
+      const bool ok = error.empty();
+      registry.record(std::move(report));
+
+      {
+        const std::scoped_lock lock(book_mutex);
+        ++completed;
+        fleet_metrics.push_back(metrics);
+        if (!ok) {
+          ++summary.failed;
+          summary.failures.push_back({job.claims.node_id, error});
+        }
+        if (config_.on_progress) {
+          FleetProgress progress;
+          progress.completed = completed;
+          progress.total = jobs.size();
+          progress.node_id = job.claims.node_id;
+          progress.ok = ok;
+          config_.on_progress(progress);
+        }
+      }
+    }
+  };
+
+  const unsigned threads = effective_threads(jobs.size());
+  if (threads <= 1) {
+    worker();  // serial fallback: no thread spawned, deterministic order
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  summary.calibrated = completed;
+  summary.skipped = jobs.size() - completed;
+  summary.wall_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  summary.nodes_per_s =
+      summary.wall_s > 0.0 ? static_cast<double>(completed) / summary.wall_s : 0.0;
+
+  std::vector<const StageMetrics*> views;
+  views.reserve(fleet_metrics.size());
+  for (const StageMetrics& m : fleet_metrics) views.push_back(&m);
+  summary.stage_stats = aggregate_stage_metrics(views);
+  return summary;
+}
+
+}  // namespace speccal::calib

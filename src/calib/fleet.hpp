@@ -1,0 +1,100 @@
+// Parallel fleet calibration engine — the paper's §2 marketplace at scale.
+//
+// Electrosense-class deployments calibrate hundreds of nodes against the
+// same world model; one node at a time does not cut it. FleetCalibrator
+// runs N calibrations concurrently over a job queue:
+//   * each job carries a device *factory*, invoked on the worker thread
+//     that picks the job up, so no device state is ever shared and
+//     per-node RNG seeding keeps parallel output bitwise-identical to a
+//     serial run;
+//   * a failure in one node (device exception, factory error) is captured
+//     into that node's report (`CalibrationReport::abort_reason`, trust 0)
+//     and never takes down the batch;
+//   * results land in the thread-safe NodeRegistry as they complete, so
+//     readers can watch the fleet fill in;
+//   * cancellation drains the queue after in-flight nodes finish.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calib/metrics.hpp"
+#include "calib/pipeline.hpp"
+
+namespace speccal::calib {
+
+/// One unit of fleet work. `make_device` must be self-contained: it runs on
+/// whichever worker thread claims the job.
+struct FleetJob {
+  NodeClaims claims;
+  std::function<std::unique_ptr<sdr::Device>()> make_device;
+};
+
+/// Progress ping after each node completes. Invoked from worker threads but
+/// serialized by the engine; keep the callback cheap and do not call back
+/// into FleetCalibrator::run (request_cancel is fine).
+struct FleetProgress {
+  std::size_t completed = 0;  // nodes finished so far (this batch)
+  std::size_t total = 0;      // jobs in the batch
+  std::string node_id;
+  bool ok = true;             // false when the node's calibration aborted
+};
+
+struct FleetConfig {
+  /// Worker threads. 0 = hardware concurrency; 1 = serial fallback, runs
+  /// every job inline on the calling thread without spawning.
+  unsigned threads = 0;
+  std::function<void(const FleetProgress&)> on_progress;
+};
+
+struct FleetFailure {
+  std::string node_id;
+  std::string error;
+};
+
+/// What a batch did, plus fleet-wide stage timing percentiles.
+struct FleetSummary {
+  std::size_t total = 0;       // jobs submitted
+  std::size_t calibrated = 0;  // reports recorded (aborted ones included)
+  std::size_t failed = 0;      // aborted reports among `calibrated`
+  std::size_t skipped = 0;     // jobs never started (cancellation)
+  double wall_s = 0.0;
+  double nodes_per_s = 0.0;
+  std::vector<FleetFailure> failures;
+  FleetStageStats stage_stats;
+};
+
+class FleetCalibrator {
+ public:
+  explicit FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config = {});
+
+  /// Calibrate every job, recording each report into `registry` as it
+  /// completes. Blocks until the batch finishes (or cancellation drains
+  /// the queue). One batch at a time per calibrator.
+  FleetSummary run(std::vector<FleetJob> jobs, NodeRegistry& registry);
+
+  /// Ask a running batch to stop after in-flight nodes finish; queued jobs
+  /// are skipped. Callable from any thread, including the progress
+  /// callback. Cleared at the start of the next run().
+  void request_cancel() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const CalibrationPipeline& pipeline() const noexcept { return pipeline_; }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  /// Threads run() will actually use for a batch of `jobs` jobs.
+  [[nodiscard]] unsigned effective_threads(std::size_t jobs) const noexcept;
+
+ private:
+  CalibrationPipeline pipeline_;
+  FleetConfig config_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace speccal::calib

@@ -4,22 +4,44 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
+#include "adsb/ppm.hpp"
 #include "prop/pathloss.hpp"
+#include "sdr/rx_environment.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace speccal::calib {
 
+// The fleet engine copies these freely across worker threads; keep them
+// value types.
+static_assert(std::is_copy_constructible_v<WorldModel>);
+static_assert(std::is_copy_constructible_v<PipelineConfig>);
+
 CalibrationPipeline::CalibrationPipeline(WorldModel world, PipelineConfig config)
     : world_(std::move(world)), config_(config) {}
 
-CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
+CalibrationReport CalibrationPipeline::calibrate(sdr::Device& device,
                                                  const NodeClaims& claims) const {
   CalibrationReport report;
+  calibrate_into(device, claims, report);
+  return report;
+}
+
+void CalibrationPipeline::calibrate_into(sdr::Device& device,
+                                         const NodeClaims& claims,
+                                         CalibrationReport& report) const {
+  report = CalibrationReport{};
   report.claims = claims;
 
-  const sdr::RxEnvironment& rx = device.rx_environment();
+  // Receiver surroundings: simulation-backed devices expose their ground
+  // truth through the SimControl capability; real hardware contributes its
+  // position only, and the model-level expectations below then assume an
+  // unobstructed site.
+  sdr::RxEnvironment rx;
+  if (sdr::SimControl* sim = device.sim_control()) rx = sim->rx_environment();
+  else rx.position = device.position();
   // Clear-sky twin of this receiver: same place/antenna, no obstructions.
   sdr::RxEnvironment clear = rx;
   clear.obstructions = nullptr;
@@ -27,14 +49,24 @@ CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
 
   // --- 1. ADS-B directional survey --------------------------------------
   if (world_.sky) {
+    StageTimer timer(report.metrics, Stage::kSurvey);
     airtraffic::GroundTruthService gt(*world_.sky, world_.ground_truth_latency_s);
     AdsbSurvey survey(config_.survey);
     report.survey = survey.run(device, *world_.sky, gt);
+    StageSample& sample = report.metrics.at(Stage::kSurvey);
+    sample.frames_decoded = report.survey.total_frames_decoded;
+    if (config_.survey.fidelity == Fidelity::kWaveform)
+      sample.samples_captured = static_cast<std::uint64_t>(
+          config_.survey.duration_s * adsb::kPpmSampleRateHz);
   }
-  report.fov = config_.use_knn_fov ? estimate_fov_knn(report.survey, config_.fov)
-                                   : estimate_fov_sectors(report.survey, config_.fov);
+  {
+    StageTimer timer(report.metrics, Stage::kFov);
+    report.fov = config_.use_knn_fov ? estimate_fov_knn(report.survey, config_.fov)
+                                     : estimate_fov_sectors(report.survey, config_.fov);
+  }
 
   // --- 2. Cellular scan ---------------------------------------------------
+  StageTimer cell_timer(report.metrics, Stage::kCellScan);
   cellular::CellScanner scanner(config_.cell_scan);
   const auto nearby = world_.cells.near(rx.position, config_.cell_search_radius_m);
   report.cell_scan =
@@ -55,8 +87,10 @@ CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
     bm.azimuth_deg = geo::bearing_deg(rx.position, meas.cell.position);
     measurements.push_back(std::move(bm));
   }
+  cell_timer.stop();
 
   // --- 3. Broadcast TV sweep ----------------------------------------------
+  StageTimer tv_timer(report.metrics, Stage::kTvSweep);
   tv::PowerMeter meter(config_.tv_meter);
   const double tv_noise_dbm = prop::noise_floor_dbm(
       config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
@@ -64,6 +98,7 @@ CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
     const auto channel = tv::channel_for_frequency(emitter.carrier_hz);
     if (!channel) continue;
     const auto reading = meter.measure_channel(device, *channel);
+    report.metrics.at(Stage::kTvSweep).samples_captured += reading.samples_used;
     report.tv_readings.push_back(reading);
 
     // Clear-sky expectation straight from the link budget.
@@ -81,20 +116,25 @@ CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
     bm.azimuth_deg = geo::bearing_deg(rx.position, emitter.position);
     measurements.push_back(std::move(bm));
   }
+  tv_timer.stop();
 
   // --- 4. Fuse, classify, verify -------------------------------------------
-  report.frequency_response =
-      evaluate_frequency_response(std::move(measurements), config_.freqresp);
-  report.classification = classify_installation(report.fov, report.frequency_response,
-                                                config_.classifier);
-  report.trust = evaluate_trust(claims, report.survey, report.fov,
-                                report.frequency_response, report.classification,
-                                config_.trust);
+  {
+    StageTimer timer(report.metrics, Stage::kFuse);
+    report.frequency_response =
+        evaluate_frequency_response(std::move(measurements), config_.freqresp);
+    report.classification = classify_installation(report.fov, report.frequency_response,
+                                                  config_.classifier);
+    report.trust = evaluate_trust(claims, report.survey, report.fov,
+                                  report.frequency_response, report.classification,
+                                  config_.trust);
 
-  // --- 5. Hardware separation + reference calibration ----------------------
-  report.hardware = diagnose_hardware(report.frequency_response, report.fov,
-                                      config_.hardware);
+    // --- 5. Hardware separation ---------------------------------------------
+    report.hardware = diagnose_hardware(report.frequency_response, report.fov,
+                                        config_.hardware);
+  }
   if (config_.run_lo_calibration) {
+    StageTimer timer(report.metrics, Stage::kLoCal);
     // Only pilot-hunt on channels the sweep showed as receivable.
     std::vector<int> receivable;
     for (const auto& reading : report.tv_readings)
@@ -102,8 +142,11 @@ CalibrationReport CalibrationPipeline::calibrate(sdr::SimulatedSdr& device,
           reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
         receivable.push_back(reading.rf_channel);
     report.lo_calibration = calibrate_lo(device, receivable, config_.lo);
+    report.metrics.at(Stage::kLoCal).samples_captured +=
+        static_cast<std::uint64_t>(report.lo_calibration.pilots.size()) *
+        static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
+                                   config_.lo.capture_duration_s);
   }
-  return report;
 }
 
 void CalibrationReport::write_json(std::ostream& os) const {
@@ -111,6 +154,12 @@ void CalibrationReport::write_json(std::ostream& os) const {
   w.begin_object();
   w.key("node_id");
   w.value(claims.node_id);
+  w.key("aborted");
+  w.value(aborted());
+  if (aborted()) {
+    w.key("abort_reason");
+    w.value(abort_reason);
+  }
 
   w.key("survey");
   w.begin_object();
@@ -246,19 +295,25 @@ void CalibrationReport::write_json(std::ostream& os) const {
   w.end_array();
   w.end_object();
 
+  w.key("stage_metrics");
+  metrics.write_json(w);
+
   w.end_object();
 }
 
 void NodeRegistry::record(CalibrationReport report) {
+  const std::scoped_lock lock(mutex_);
   reports_.insert_or_assign(report.claims.node_id, std::move(report));
 }
 
 const CalibrationReport* NodeRegistry::find(const std::string& node_id) const noexcept {
+  const std::scoped_lock lock(mutex_);
   const auto it = reports_.find(node_id);
   return it == reports_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> NodeRegistry::ranked_by_trust() const {
+  const std::scoped_lock lock(mutex_);
   std::vector<std::string> ids;
   ids.reserve(reports_.size());
   for (const auto& [id, report] : reports_) ids.push_back(id);
@@ -271,6 +326,7 @@ std::vector<std::string> NodeRegistry::ranked_by_trust() const {
 std::vector<std::string> NodeRegistry::usable_for(double freq_hz,
                                                   std::optional<double> azimuth_deg) const {
   const auto cls = cellular::classify_frequency(freq_hz);
+  const std::scoped_lock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [id, report] : reports_) {
     bool band_ok = false;
@@ -281,6 +337,17 @@ std::vector<std::string> NodeRegistry::usable_for(double freq_hz,
     out.push_back(id);
   }
   return out;
+}
+
+void NodeRegistry::for_each_report(
+    const std::function<void(const CalibrationReport&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [id, report] : reports_) fn(report);
+}
+
+std::size_t NodeRegistry::size() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return reports_.size();
 }
 
 }  // namespace speccal::calib

@@ -6,9 +6,11 @@
 // One CalibrationReport per node; a NodeRegistry ranks the fleet.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "calib/classify.hpp"
@@ -16,6 +18,7 @@
 #include "calib/freqresp.hpp"
 #include "calib/hardware.hpp"
 #include "calib/lo_calibration.hpp"
+#include "calib/metrics.hpp"
 #include "calib/survey.hpp"
 #include "calib/trust.hpp"
 #include "cellular/scanner.hpp"
@@ -66,6 +69,14 @@ struct CalibrationReport {
   TrustReport trust;
   HardwareDiagnosis hardware;
   LoCalibrationResult lo_calibration;
+  /// Where each stage's wall time / sample budget went.
+  StageMetrics metrics;
+  /// Non-empty when the run aborted partway (device threw, tune storm, ...);
+  /// fields populated before the abort point remain valid. The fleet engine
+  /// fills this so one broken node never takes down a batch.
+  std::string abort_reason;
+
+  [[nodiscard]] bool aborted() const noexcept { return !abort_reason.empty(); }
 
   /// Machine-readable export for downstream tooling.
   void write_json(std::ostream& os) const;
@@ -75,10 +86,16 @@ class CalibrationPipeline {
  public:
   CalibrationPipeline(WorldModel world, PipelineConfig config = {});
 
-  /// Run the full evaluation. The device must already carry the world's
-  /// signal sources (ADS-B sky + TV emitters).
-  [[nodiscard]] CalibrationReport calibrate(sdr::SimulatedSdr& device,
+  /// Run the full evaluation through the device-agnostic interface. The
+  /// device must already carry the world's signal sources (simulation:
+  /// ADS-B sky + TV emitters) or receive them off the air (hardware).
+  [[nodiscard]] CalibrationReport calibrate(sdr::Device& device,
                                             const NodeClaims& claims) const;
+
+  /// Same evaluation, writing into caller-owned storage (the fleet engine
+  /// reuses per-worker report slots). `report` is reset first.
+  void calibrate_into(sdr::Device& device, const NodeClaims& claims,
+                      CalibrationReport& report) const;
 
   [[nodiscard]] const WorldModel& world() const noexcept { return world_; }
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
@@ -90,23 +107,39 @@ class CalibrationPipeline {
 
 /// Fleet bookkeeping: stores reports, ranks nodes by trust, answers
 /// "which nodes can monitor band X from direction Y" queries.
+///
+/// Thread-safe: all members take an internal lock, so fleet workers can
+/// record results while readers query. Query methods deliberately return
+/// snapshot *copies* of the id lists — a view would dangle the moment
+/// another thread records — so hold the result, not the registry, in loops.
 class NodeRegistry {
  public:
+  NodeRegistry() = default;
+
+  /// Takes the report by value; move in to avoid the copy.
   void record(CalibrationReport report);
 
+  /// Pointer into the registry, or nullptr. Stable across later record()
+  /// calls (std::map nodes don't move) *except* re-recording the same id,
+  /// which replaces the pointee. Don't cache across re-calibrations.
   [[nodiscard]] const CalibrationReport* find(const std::string& node_id) const noexcept;
 
-  /// Node ids ordered by descending trust score.
+  /// Node ids ordered by descending trust score (snapshot copy).
   [[nodiscard]] std::vector<std::string> ranked_by_trust() const;
 
   /// Nodes whose calibration shows `freq_hz` usable and (optionally) the
-  /// azimuth open.
+  /// azimuth open (snapshot copy).
   [[nodiscard]] std::vector<std::string> usable_for(double freq_hz,
                                                     std::optional<double> azimuth_deg) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return reports_.size(); }
+  /// Visit every report (id order) under the registry lock — replaces
+  /// find-per-id loops. Don't call registry methods from `fn` (deadlock).
+  void for_each_report(const std::function<void(const CalibrationReport&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, CalibrationReport> reports_;
 };
 

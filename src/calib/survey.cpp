@@ -4,11 +4,13 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "adsb/decoder.hpp"
 #include "adsb/ppm.hpp"
 #include "airtraffic/adsb_source.hpp"
 #include "prop/pathloss.hpp"
+#include "sdr/rx_environment.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -74,14 +76,14 @@ SurveyResult join(const std::vector<airtraffic::FlightRecord>& truth,
 
 }  // namespace
 
-SurveyResult AdsbSurvey::run(sdr::SimulatedSdr& device,
+SurveyResult AdsbSurvey::run(sdr::Device& device,
                              const airtraffic::SkySimulator& sky,
                              const airtraffic::GroundTruthService& gt) const {
   return config_.fidelity == Fidelity::kWaveform ? run_waveform(device, sky, gt)
                                                  : run_linkbudget(device, sky, gt);
 }
 
-SurveyResult AdsbSurvey::run_waveform(sdr::SimulatedSdr& device,
+SurveyResult AdsbSurvey::run_waveform(sdr::Device& device,
                                       const airtraffic::SkySimulator& sky,
                                       const airtraffic::GroundTruthService& gt) const {
   (void)sky;  // the device's AdsbSignalSource already references the sky
@@ -106,7 +108,7 @@ SurveyResult AdsbSurvey::run_waveform(sdr::SimulatedSdr& device,
   }
 
   const double query_t = t_start + config_.ground_truth_query_at_s;
-  const geo::Geodetic sensor_pos = device.rx_environment().position;
+  const geo::Geodetic sensor_pos = device.position();
   const auto truth = gt.query(sensor_pos, config_.ground_truth_radius_m, query_t);
   const auto extended =
       gt.query(sensor_pos, config_.ground_truth_radius_m * 1.5, query_t);
@@ -129,10 +131,15 @@ SurveyResult AdsbSurvey::run_waveform(sdr::SimulatedSdr& device,
   return out;
 }
 
-SurveyResult AdsbSurvey::run_linkbudget(sdr::SimulatedSdr& device,
+SurveyResult AdsbSurvey::run_linkbudget(sdr::Device& device,
                                         const airtraffic::SkySimulator& sky,
                                         const airtraffic::GroundTruthService& gt) const {
-  const sdr::RxEnvironment& rx = device.rx_environment();
+  sdr::SimControl* sim = device.sim_control();
+  if (sim == nullptr)
+    throw std::runtime_error(
+        "link-budget survey fidelity requires a simulation-backed device; "
+        "use Fidelity::kWaveform on hardware");
+  const sdr::RxEnvironment& rx = sim->rx_environment();
   const double t_start = device.stream_time_s();
   const double noise_dbm = prop::noise_floor_dbm(adsb::kPpmSampleRateHz,
                                                  device.info().noise_figure_db);
@@ -182,7 +189,7 @@ SurveyResult AdsbSurvey::run_linkbudget(sdr::SimulatedSdr& device,
                           config_.ground_truth_radius_m);
   for (const auto& [icao, r] : received) out.total_frames_decoded += r.messages;
   out.duration_s = config_.duration_s;
-  device.advance_time(config_.duration_s);
+  sim->advance_time(config_.duration_s);
   return out;
 }
 

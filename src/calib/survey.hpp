@@ -17,7 +17,7 @@
 #include "adsb/ppm.hpp"
 #include "airtraffic/groundtruth.hpp"
 #include "airtraffic/sky.hpp"
-#include "sdr/sim.hpp"
+#include "sdr/device.hpp"
 
 namespace speccal::calib {
 
@@ -80,23 +80,26 @@ struct SurveyResult {
   [[nodiscard]] std::size_t missed_count() const noexcept;
 };
 
-/// Runs the survey. The SDR must already carry an AdsbSignalSource for the
-/// same sky that `ground_truth` reports on.
+/// Runs the survey. The device must already carry an AdsbSignalSource for
+/// the same sky that `ground_truth` reports on (simulation), or receive
+/// 1090 MHz off the air (hardware). Waveform fidelity works on any
+/// `sdr::Device`; link-budget fidelity is a simulation shortcut and
+/// requires `Device::sim_control()` (throws std::runtime_error otherwise).
 class AdsbSurvey {
  public:
   explicit AdsbSurvey(SurveyConfig config = {}) noexcept : config_(config) {}
 
-  [[nodiscard]] SurveyResult run(sdr::SimulatedSdr& device,
+  [[nodiscard]] SurveyResult run(sdr::Device& device,
                                  const airtraffic::SkySimulator& sky,
                                  const airtraffic::GroundTruthService& ground_truth) const;
 
   [[nodiscard]] const SurveyConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] SurveyResult run_waveform(sdr::SimulatedSdr& device,
+  [[nodiscard]] SurveyResult run_waveform(sdr::Device& device,
                                           const airtraffic::SkySimulator& sky,
                                           const airtraffic::GroundTruthService& gt) const;
-  [[nodiscard]] SurveyResult run_linkbudget(sdr::SimulatedSdr& device,
+  [[nodiscard]] SurveyResult run_linkbudget(sdr::Device& device,
                                             const airtraffic::SkySimulator& sky,
                                             const airtraffic::GroundTruthService& gt) const;
 

@@ -15,7 +15,7 @@
 
 #include "cellular/tower.hpp"
 #include "prop/linkbudget.hpp"
-#include "sdr/sim.hpp"
+#include "sdr/rx_environment.hpp"
 
 namespace speccal::cellular {
 

@@ -73,6 +73,14 @@ struct SiteSetup {
 [[nodiscard]] std::unique_ptr<sdr::SimulatedSdr> make_node(
     const SiteSetup& site, const calib::WorldModel& world, std::uint64_t seed);
 
+/// Self-contained variant for fleet jobs: the returned device co-owns the
+/// site models it measures through (obstructions, antenna, fading), so a
+/// `calib::FleetJob::make_device` factory can hand it off with no external
+/// lifetime to manage. Built entirely from (site, world, seed), it makes
+/// parallel and serial fleet runs bitwise-identical.
+[[nodiscard]] std::unique_ptr<sdr::Device> make_owned_node(
+    Site site, const calib::WorldModel& world, std::uint64_t seed);
+
 /// Paper Figure-4 channel list (RF channels for 213..605 MHz).
 [[nodiscard]] std::vector<int> figure4_channels();
 

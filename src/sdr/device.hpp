@@ -12,8 +12,11 @@
 #include <string>
 
 #include "dsp/iq.hpp"
+#include "geo/wgs84.hpp"
 
 namespace speccal::sdr {
+
+struct RxEnvironment;  // sdr/sim.hpp — simulation-side receiver surroundings
 
 enum class GainMode {
   kManual,  // paper's TV measurement: fixed gain so readings are comparable
@@ -42,11 +45,38 @@ struct DeviceInfo {
   double frontend_loss_db = 0.0;
 };
 
+/// Narrow capability interface for simulation-backed devices.
+///
+/// Model-level calibration stages (link-budget survey fidelity, the
+/// srsUE-style cell scan) need the ground-truth receiver surroundings and
+/// the ability to skip stream time between measurement windows — things a
+/// real SDR cannot provide. Callers obtain this surface through
+/// `Device::sim_control()` and must degrade gracefully when it is null.
+class SimControl {
+ public:
+  virtual ~SimControl() = default;
+
+  /// Ground-truth surroundings (obstructions, fading, antenna) of the
+  /// simulated receiver.
+  [[nodiscard]] virtual const RxEnvironment& rx_environment() const noexcept = 0;
+
+  /// Jump the stream clock (e.g. skip between measurement windows).
+  virtual void advance_time(double seconds) noexcept = 0;
+};
+
 class Device {
  public:
   virtual ~Device() = default;
 
   [[nodiscard]] virtual DeviceInfo info() const = 0;
+
+  /// Geodetic position of the node. Real hardware reads GPS; the survey
+  /// joins receptions against ground truth queried around this point.
+  [[nodiscard]] virtual geo::Geodetic position() const = 0;
+
+  /// Capability query: the simulation control surface, or nullptr when the
+  /// device is real hardware.
+  [[nodiscard]] virtual SimControl* sim_control() noexcept { return nullptr; }
 
   /// Tune the front end. Returns false if the device cannot reach
   /// `center_freq_hz` or `sample_rate_hz` (pipeline records the failure).

@@ -1,0 +1,23 @@
+// Receiver-side environment: what surrounds a (simulated) node.
+//
+// Split out of sdr/sim.hpp so that model-level consumers — the cellular
+// scanner, link-budget expectations — can describe a receiver site without
+// pulling in the full simulated front end.
+#pragma once
+
+#include "geo/wgs84.hpp"
+#include "prop/fading.hpp"
+#include "prop/obstruction.hpp"
+#include "sdr/antenna.hpp"
+
+namespace speccal::sdr {
+
+/// Receiver-side environment shared by all sources rendering into one node.
+struct RxEnvironment {
+  geo::Geodetic position;
+  const prop::ObstructionMap* obstructions = nullptr;  // may be null (open site)
+  const prop::FadingModel* fading = nullptr;           // may be null (no fading)
+  const AntennaModel* antenna = nullptr;               // may be null (isotropic)
+};
+
+}  // namespace speccal::sdr

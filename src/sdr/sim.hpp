@@ -17,21 +17,11 @@
 
 #include "dsp/iq.hpp"
 #include "geo/wgs84.hpp"
-#include "prop/fading.hpp"
-#include "prop/obstruction.hpp"
-#include "sdr/antenna.hpp"
 #include "sdr/device.hpp"
+#include "sdr/rx_environment.hpp"
 #include "util/rng.hpp"
 
 namespace speccal::sdr {
-
-/// Receiver-side environment shared by all sources rendering into one node.
-struct RxEnvironment {
-  geo::Geodetic position;
-  const prop::ObstructionMap* obstructions = nullptr;  // may be null (open site)
-  const prop::FadingModel* fading = nullptr;           // may be null (no fading)
-  const AntennaModel* antenna = nullptr;               // may be null (isotropic)
-};
 
 /// Parameters of one capture request handed to each source.
 struct CaptureContext {
@@ -55,7 +45,7 @@ class SignalSource {
 
 /// Software model of a wide-band receiver (defaults match a BladeRF-class
 /// device: 70 MHz - 6 GHz, 61.44 Msps max, 12-bit ADC).
-class SimulatedSdr final : public Device {
+class SimulatedSdr final : public Device, public SimControl {
  public:
   SimulatedSdr(DeviceInfo info, RxEnvironment rx, util::Rng rng);
 
@@ -66,6 +56,8 @@ class SimulatedSdr final : public Device {
 
   // Device interface -------------------------------------------------------
   [[nodiscard]] DeviceInfo info() const override { return info_; }
+  [[nodiscard]] geo::Geodetic position() const override { return rx_.position; }
+  [[nodiscard]] SimControl* sim_control() noexcept override { return this; }
   bool tune(double center_freq_hz, double sample_rate_hz) override;
   void set_gain_mode(GainMode mode) override { gain_mode_ = mode; }
   void set_gain_db(double gain_db) override { gain_db_ = gain_db; }
@@ -75,10 +67,13 @@ class SimulatedSdr final : public Device {
   [[nodiscard]] double center_freq_hz() const override { return center_freq_hz_; }
   [[nodiscard]] double sample_rate_hz() const override { return sample_rate_hz_; }
 
+  // SimControl interface ---------------------------------------------------
+  [[nodiscard]] const RxEnvironment& rx_environment() const noexcept override {
+    return rx_;
+  }
+  void advance_time(double seconds) noexcept override { stream_time_s_ += seconds; }
+
   // Simulation extras ------------------------------------------------------
-  [[nodiscard]] const RxEnvironment& rx_environment() const noexcept { return rx_; }
-  /// Jump the stream clock (e.g. skip between measurement windows).
-  void advance_time(double seconds) noexcept { stream_time_s_ += seconds; }
   /// AGC target output power [dBFS].
   void set_agc_target_dbfs(double dbfs) noexcept { agc_target_dbfs_ = dbfs; }
 

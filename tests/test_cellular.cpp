@@ -1,6 +1,8 @@
 // Unit tests: 3GPP band tables, cell database, srsUE-like scanner.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cellular/bands.hpp"
 #include "cellular/scanner.hpp"
 #include "cellular/tower.hpp"
