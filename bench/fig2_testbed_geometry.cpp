@@ -24,7 +24,10 @@ int main() {
   util::Table towers({"tower", "operator", "band", "EARFCN", "DL MHz", "azimuth",
                       "distance m", "EIRP dBm"});
   int index = 1;
-  for (const auto& cell : scenario::make_cell_database().cells()) {
+  // Keep the database alive across the loop: cells() returns a reference
+  // into it, and C++20 range-for does not extend a temporary's lifetime.
+  const auto cell_db = scenario::make_cell_database();
+  for (const auto& cell : cell_db.cells()) {
     towers.add_row({
         "Tower " + std::to_string(index++),
         cell.operator_name,

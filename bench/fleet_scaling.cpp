@@ -5,13 +5,19 @@
 //
 // Speedup tracks the host's core count; on a single-core container every
 // row degenerates to ~1x while the identity check still bites.
+//
+// Results are also written to BENCH_fleet.json (override with --json=PATH;
+// schema in DESIGN.md §8).
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "calib/fleet.hpp"
 #include "scenario/testbed.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 using namespace speccal;
@@ -61,9 +67,61 @@ bool bitwise_equal(const std::vector<NodeFingerprint>& a,
   return std::memcmp(a.data(), b.data(), a.size() * sizeof(NodeFingerprint)) == 0;
 }
 
+struct ScalingRow {
+  unsigned threads = 0;
+  double wall_s = 0.0;
+  double nodes_per_s = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "fleet_scaling: cannot write " << path << "\n";
+    return false;
+  }
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench");
+  w.value("fleet_scaling");
+  w.key("schema_version");
+  w.value(1);
+  w.key("fleet_size");
+  w.value(kFleetSize);
+  w.key("hardware_threads");
+  w.value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  w.key("results");
+  w.begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.key("threads");
+    w.value(static_cast<std::size_t>(row.threads));
+    w.key("wall_s");
+    w.value(row.wall_s);
+    w.key("nodes_per_s");
+    w.value(row.nodes_per_s);
+    w.key("speedup");
+    w.value(row.speedup);
+    w.key("identical_to_serial");
+    w.value(row.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
   const auto world = scenario::make_world(kSeed);
 
   calib::PipelineConfig cfg;
@@ -74,6 +132,7 @@ int main() {
 
   std::vector<NodeFingerprint> serial;
   double serial_rate = 0.0;
+  std::vector<ScalingRow> rows;
 
   util::Table table({"threads", "wall s", "nodes/s", "speedup", "identical"});
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -103,6 +162,8 @@ int main() {
                    util::format_fixed(summary.nodes_per_s, 2),
                    util::format_fixed(summary.nodes_per_s / serial_rate, 2) + "x",
                    identical ? "yes" : "NO"});
+    rows.push_back({threads, summary.wall_s, summary.nodes_per_s,
+                    summary.nodes_per_s / serial_rate, identical});
     if (!identical) {
       std::cerr << "FAIL: parallel output diverged from serial at " << threads
                 << " threads\n";
@@ -111,5 +172,5 @@ int main() {
   }
   table.set_title("FleetCalibrator scaling (link-budget fidelity)");
   table.print(std::cout);
-  return 0;
+  return write_bench_json(json_path, rows) ? 0 : 1;
 }

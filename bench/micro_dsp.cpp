@@ -1,19 +1,104 @@
 // Microbenchmarks: DSP primitives behind the TV power meter and the
-// spectrum tooling (google-benchmark).
+// spectrum tooling (google-benchmark), plus a self-contained before/after
+// comparison of the plan-based engine against the pre-plan free-function
+// implementation, written to BENCH_dsp.json (schema in DESIGN.md §8).
+//
+// Usage:
+//   micro_dsp [gbench flags] [--json=PATH] [--compare-iters=N]
+// --json defaults to BENCH_dsp.json in the working directory;
+// --compare-iters caps the comparison loop (0 = auto-calibrate to ~0.25 s
+// per variant; CI's bench-smoke job passes a small fixed count).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <fstream>
+#include <iostream>
+#include <numbers>
+#include <string>
+#include <vector>
 
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/plan.hpp"
 #include "dsp/resampler.hpp"
 #include "dsp/welch.hpp"
 #include "dsp/window.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 using namespace speccal;
 
 namespace {
 
-void BM_Fft(benchmark::State& state) {
+// ------------------------------------------------------------ pre-PR ref ----
+
+/// The pre-plan power_spectrum, kept verbatim as the comparison baseline:
+/// widens the I/Q block to complex<double>, allocates a fresh work buffer
+/// and recomputes twiddles by recurrence on every call.
+namespace legacy {
+
+void fft_inplace(std::span<std::complex<double>> data) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
+                                   std::span<const double> window) {
+  if (block.empty()) return {};
+  std::size_t n = 1;
+  while (n < block.size()) n <<= 1;
+
+  std::vector<std::complex<double>> work(n, {0.0, 0.0});
+  double window_power = 0.0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const double w = (i < window.size()) ? window[i] : 1.0;
+    window_power += w * w;
+    work[i] = std::complex<double>(block[i].real(), block[i].imag()) * w;
+  }
+  if (window.empty()) window_power = static_cast<double>(block.size());
+
+  fft_inplace(work);
+
+  const double scale = 1.0 / (window_power * static_cast<double>(block.size()));
+  std::vector<double> spectrum(n);
+  for (std::size_t k = 0; k < n; ++k) spectrum[k] = std::norm(work[k]) * scale;
+  return spectrum;
+}
+
+}  // namespace legacy
+
+std::vector<std::complex<float>> noise_block(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::complex<float>> block(n);
+  for (auto& v : block)
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  return block;
+}
+
+// ------------------------------------------------------- gbench: engines ----
+
+void BM_FftLegacyShimDouble(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   std::vector<std::complex<double>> data(n);
@@ -26,27 +111,77 @@ void BM_Fft(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_Fft)->Arg(1024)->Arg(8192)->Arg(65536);
+BENCHMARK(BM_FftLegacyShimDouble)->Arg(1024)->Arg(8192)->Arg(65536);
 
-void BM_PowerSpectrum(benchmark::State& state) {
-  util::Rng rng(2);
-  std::vector<std::complex<float>> data(8192);
-  for (auto& v : data)
-    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
-  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, data.size());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(dsp::power_spectrum(data, window));
+void BM_FftPlanFloat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = noise_block(n, 1);
+  const dsp::FftPlan plan(n);
+  auto work = data;
+  for (auto _ : state) {
+    work = data;
+    plan.forward(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
 }
-BENCHMARK(BM_PowerSpectrum);
+BENCHMARK(BM_FftPlanFloat)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_PowerSpectrumLegacy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = noise_block(n, 2);
+  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(legacy::power_spectrum(data, window));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PowerSpectrumLegacy)->Arg(4096)->Arg(8192);
+
+void BM_PowerSpectrumPlan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = noise_block(n, 2);
+  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, n);
+  dsp::SpectrumEstimator estimator(n, window);
+  std::vector<double> out;
+  for (auto _ : state) {
+    estimator.estimate(data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PowerSpectrumPlan)->Arg(4096)->Arg(8192);
+
+void BM_WelchOneShot(benchmark::State& state) {
+  const auto block = noise_block(160000, 4);  // one 20 ms hop at 8 Msps
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::welch_psd(block, 8e6));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_WelchOneShot);
+
+void BM_WelchEstimatorReused(benchmark::State& state) {
+  const auto block = noise_block(160000, 4);
+  dsp::WelchEstimator estimator;
+  dsp::WelchResult result;
+  for (auto _ : state) {
+    estimator.estimate_into(block, 8e6, result);
+    benchmark::DoNotOptimize(result.psd.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_WelchEstimatorReused);
+
+// ---------------------------------------------------- gbench: fir et al. ----
 
 void BM_FirFilter(benchmark::State& state) {
   const auto taps_count = static_cast<std::size_t>(state.range(0));
   const auto taps = dsp::design_bandpass(8e6, -2.69e6, 2.69e6, taps_count);
   dsp::FirFilter filter(taps);
-  util::Rng rng(3);
-  std::vector<std::complex<float>> block(65536);
-  for (auto& v : block)
-    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  const auto block = noise_block(65536, 3);
   std::vector<std::complex<float>> out;
   for (auto _ : state) {
     out.clear();
@@ -70,22 +205,8 @@ void BM_MovingAverage(benchmark::State& state) {
 }
 BENCHMARK(BM_MovingAverage);
 
-void BM_WelchPsd(benchmark::State& state) {
-  util::Rng rng(4);
-  std::vector<std::complex<float>> block(160000);  // one 20 ms hop at 8 Msps
-  for (auto& v : block)
-    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
-  for (auto _ : state) benchmark::DoNotOptimize(dsp::welch_psd(block, 8e6));
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(block.size()));
-}
-BENCHMARK(BM_WelchPsd);
-
 void BM_Decimator(benchmark::State& state) {
-  util::Rng rng(5);
-  std::vector<std::complex<float>> block(65536);
-  for (auto& v : block)
-    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  const auto block = noise_block(65536, 5);
   dsp::Decimator dec(4, 8e6);
   std::vector<std::complex<float>> out;
   for (auto _ : state) {
@@ -104,6 +225,133 @@ void BM_FirDesign(benchmark::State& state) {
 }
 BENCHMARK(BM_FirDesign);
 
+// ------------------------------------------------- BENCH_dsp.json writer ----
+
+struct CompareRow {
+  std::string variant;
+  std::size_t iterations = 0;
+  double wall_s = 0.0;
+  double samples_per_s = 0.0;
+};
+
+/// Time `fn` (one 4096-point power spectrum per call). iters == 0
+/// auto-calibrates to ~0.25 s.
+template <typename Fn>
+CompareRow time_variant(const std::string& variant, std::size_t n,
+                        std::size_t iters, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  if (iters == 0) {
+    // Calibrate: grow until one batch takes >= 25 ms, then run 10 batches.
+    std::size_t batch = 8;
+    for (;;) {
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < batch; ++i) fn();
+      const double s = std::chrono::duration<double>(clock::now() - t0).count();
+      if (s >= 0.025 || batch > (1u << 20)) break;
+      batch *= 2;
+    }
+    iters = batch * 10;
+  }
+  const auto t0 = clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+  CompareRow row;
+  row.variant = variant;
+  row.iterations = iters;
+  row.wall_s = wall;
+  row.samples_per_s =
+      wall > 0.0 ? static_cast<double>(iters * n) / wall : 0.0;
+  return row;
+}
+
+/// The acceptance comparison: 4096-point float power spectrum, pre-PR free
+/// function vs plan-based estimator, plus the Welch hop path for context.
+int write_bench_json(const std::string& path, std::size_t compare_iters) {
+  constexpr std::size_t kN = 4096;
+  const auto block = noise_block(kN, 42);
+  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, kN);
+
+  const auto before = time_variant("pre_plan_free_function", kN, compare_iters,
+                                   [&] {
+                                     benchmark::DoNotOptimize(
+                                         legacy::power_spectrum(block, window));
+                                   });
+
+  dsp::SpectrumEstimator estimator(kN, window);
+  std::vector<double> out;
+  const auto after = time_variant("fft_plan_estimator", kN, compare_iters, [&] {
+    estimator.estimate(block, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+
+  const double speedup =
+      before.samples_per_s > 0.0 ? after.samples_per_s / before.samples_per_s : 0.0;
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_dsp: cannot write " << path << "\n";
+    return 1;
+  }
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench");
+  w.value("micro_dsp");
+  w.key("schema_version");
+  w.value(1);
+  w.key("results");
+  w.begin_array();
+  for (const auto& row : {before, after}) {
+    w.begin_object();
+    w.key("name");
+    w.value("power_spectrum_4096_float");
+    w.key("variant");
+    w.value(row.variant);
+    w.key("iterations");
+    w.value(row.iterations);
+    w.key("wall_s");
+    w.value(row.wall_s);
+    w.key("samples_per_s");
+    w.value(row.samples_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("speedup");
+  w.begin_object();
+  w.key("power_spectrum_4096_float");
+  w.value(speedup);
+  w.end_object();
+  w.end_object();
+  os << "\n";
+
+  std::cout << "power_spectrum 4096-pt float: pre-plan "
+            << before.samples_per_s / 1e6 << " Msps, plan "
+            << after.samples_per_s / 1e6 << " Msps, speedup " << speedup
+            << "x -> " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_dsp.json";
+  std::size_t compare_iters = 0;  // auto-calibrate
+
+  // Peel off our flags; everything else goes to google-benchmark.
+  std::vector<char*> gbench_args;
+  gbench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--compare-iters=", 0) == 0) {
+      compare_iters = static_cast<std::size_t>(std::stoull(arg.substr(16)));
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  benchmark::RunSpecifiedBenchmarks();
+
+  return write_bench_json(json_path, compare_iters);
+}

@@ -24,6 +24,12 @@ LoCalibrationResult calibrate_lo(sdr::Device& device,
   const auto samples =
       static_cast<std::size_t>(config.capture_duration_s * config.sample_rate_hz);
 
+  // One plan-based estimator for all channels: every capture has the same
+  // length, so the zero-padded FFT plan and scratch are built once and the
+  // per-channel spectrum lands in a reused buffer.
+  dsp::SpectrumEstimator estimator(dsp::next_power_of_two(std::max<std::size_t>(1, samples)));
+  std::vector<double> spectrum;
+
   for (int channel : rf_channels) {
     const auto edge = tv::channel_lower_edge_hz(channel);
     if (!edge) continue;
@@ -38,7 +44,7 @@ LoCalibrationResult calibrate_lo(sdr::Device& device,
 
     // Zero-padded FFT peak search inside the expected window (a Goertzel
     // comb at this resolution would cost ~1000x more).
-    const auto spectrum = dsp::power_spectrum(capture);
+    estimator.estimate(capture, spectrum);
     const double fft_size = static_cast<double>(spectrum.size());
     const double bin_hz = config.sample_rate_hz / fft_size;
 

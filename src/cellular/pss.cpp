@@ -4,7 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "dsp/fft.hpp"
+#include "dsp/plan.hpp"
 #include "util/units.hpp"
 
 namespace speccal::cellular {
@@ -16,6 +16,22 @@ constexpr std::array<int, 3> kRootIndex = {25, 29, 34};
 [[nodiscard]] double frame_offset_s(std::uint64_t cell_id) noexcept {
   std::uint64_t s = cell_id * 0x9E3779B97F4A7C15ull;
   return (static_cast<double>(util::splitmix64(s) & 0xFFFF) / 65536.0) * kPssPeriodS;
+}
+
+/// The six correlation references (3 roots x {0, 0.5}-sample delay) are
+/// deterministic, so synthesize them once per process instead of once per
+/// search call (each synthesis is an IFFT + normalization).
+[[nodiscard]] const std::array<std::array<std::vector<std::complex<float>>, 2>, 3>&
+search_references() {
+  static const auto refs = [] {
+    std::array<std::array<std::vector<std::complex<float>>, 2>, 3> r;
+    for (int nid2 = 0; nid2 < 3; ++nid2)
+      for (int f = 0; f < 2; ++f)
+        r[static_cast<std::size_t>(nid2)][static_cast<std::size_t>(f)] =
+            pss_time_domain(nid2, f == 0 ? 0.0 : 0.5);
+    return r;
+  }();
+  return refs;
 }
 }  // namespace
 
@@ -57,7 +73,9 @@ std::vector<std::complex<float>> pss_time_domain(int nid2, double fractional_del
     }
   }
 
-  dsp::ifft_inplace(grid);
+  // Plan-based inverse transform; the 128-point plan is shared process-wide
+  // (every CellSignalSource and searcher hits the same size).
+  dsp::PlanCache::shared().plan_f64(kPssFftSize)->inverse(grid);
 
   // Normalize to unit average power over the symbol.
   double power = 0.0;
@@ -160,8 +178,9 @@ PssDetection pss_search(std::span<const std::complex<float>> capture) {
 
   const std::size_t half = kPssFftSize / 2;
   for (int nid2 = 0; nid2 < 3; ++nid2) {
-   for (double frac : {0.0, 0.5}) {
-    const auto ref = pss_time_domain(nid2, frac);
+   for (int frac = 0; frac < 2; ++frac) {
+    const auto& ref =
+        search_references()[static_cast<std::size_t>(nid2)][static_cast<std::size_t>(frac)];
 
     for (std::size_t k = 0; k < search_span; ++k) {
       double num = 0.0;

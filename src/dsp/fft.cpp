@@ -1,54 +1,16 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
-#include <numbers>
-#include <stdexcept>
 
 namespace speccal::dsp {
 
-namespace {
-
-void transform(std::span<std::complex<double>> data, bool inverse) {
-  const std::size_t n = data.size();
-  if (!is_power_of_two(n))
-    throw std::invalid_argument("fft: size must be a power of two");
-  if (n == 1) return;
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  // Danielson-Lanczos butterflies.
-  const double sign = inverse ? 1.0 : -1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
-  if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= inv_n;
-  }
+void fft_inplace(std::span<std::complex<double>> data) {
+  PlanCache::shared().plan_f64(data.size())->forward(data);
 }
 
-}  // namespace
-
-void fft_inplace(std::span<std::complex<double>> data) { transform(data, false); }
-void ifft_inplace(std::span<std::complex<double>> data) { transform(data, true); }
+void ifft_inplace(std::span<std::complex<double>> data) {
+  PlanCache::shared().plan_f64(data.size())->inverse(data);
+}
 
 std::vector<std::complex<double>> fft(std::span<const std::complex<double>> data) {
   std::vector<std::complex<double>> out(data.begin(), data.end());
@@ -65,32 +27,20 @@ std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> dat
 std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
                                    std::span<const double> window) {
   if (block.empty()) return {};
-  std::size_t n = 1;
-  while (n < block.size()) n <<= 1;
-
-  std::vector<std::complex<double>> work(n, {0.0, 0.0});
-  double window_power = 0.0;
-  for (std::size_t i = 0; i < block.size(); ++i) {
-    const double w = (i < window.size()) ? window[i] : 1.0;
-    window_power += w * w;
-    work[i] = std::complex<double>(block[i].real(), block[i].imag()) * w;
-  }
-  if (window.empty()) window_power = static_cast<double>(block.size());
-
-  fft_inplace(work);
-
-  // Normalize so a full-scale tone lands near 1.0 regardless of window:
-  // |X[k]|^2 / (sum w^2 * N_block) puts coherent-gain-corrected power per bin.
-  const double scale = 1.0 / (window_power * static_cast<double>(block.size()));
-  std::vector<double> spectrum(n);
-  for (std::size_t k = 0; k < n; ++k) spectrum[k] = std::norm(work[k]) * scale;
-  return spectrum;
+  SpectrumEstimator estimator(next_power_of_two(block.size()), window);
+  return estimator.estimate(block);
 }
 
 std::size_t bin_for_frequency(double freq_hz, double sample_rate_hz,
                               std::size_t fft_size) noexcept {
+  if (fft_size == 0 || !(sample_rate_hz > 0.0)) return 0;
   const double resolution = sample_rate_hz / static_cast<double>(fft_size);
-  long bin = std::lround(freq_hz / resolution);
+  // floor(x + 0.5), not lround: lround ties away from zero, which sent a
+  // negative frequency exactly on a bin edge to the lower-index bin while
+  // the same edge on the positive side went up — an off-by-one across DC.
+  // Rounding half toward +inf keeps the contract uniform: edges belong to
+  // the more-positive-frequency bin.
+  long bin = static_cast<long>(std::floor(freq_hz / resolution + 0.5));
   const long n = static_cast<long>(fft_size);
   bin %= n;
   if (bin < 0) bin += n;

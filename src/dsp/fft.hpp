@@ -1,9 +1,12 @@
-// Iterative radix-2 FFT.
+// Legacy free-function FFT API — thin shims over the plan-based engine.
 //
-// The TV power meter and the spectrum snapshot tooling need forward
-// transforms of power-of-two blocks; tests verify against a direct DFT and
-// Parseval's identity (the measurement principle the paper's GNU Radio
-// program relies on).
+// DEPRECATED (see DESIGN.md §8 for the policy): every call looks up a
+// cached dsp::FftPlan/FftPlanD in dsp::PlanCache and, for power_spectrum,
+// builds a fresh SpectrumEstimator (allocating output each call). New code
+// — and any code on a hot path — should hold a plan / estimator directly
+// (dsp/plan.hpp, dsp/welch.hpp) so twiddle tables and scratch are reused.
+// These shims remain for one release for out-of-tree callers and for the
+// verification tests that pin the transform's numerics.
 #pragma once
 
 #include <complex>
@@ -11,32 +14,35 @@
 #include <span>
 #include <vector>
 
-namespace speccal::dsp {
+#include "dsp/plan.hpp"
 
-/// True if n is a nonzero power of two.
-[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
-  return n != 0 && (n & (n - 1)) == 0;
-}
+namespace speccal::dsp {
 
 /// In-place forward FFT. `data.size()` must be a power of two.
 /// Throws std::invalid_argument otherwise.
+/// Deprecated shim: equivalent to PlanCache::shared().plan_f64(n)->forward().
 void fft_inplace(std::span<std::complex<double>> data);
 
-/// In-place inverse FFT (includes the 1/N normalization).
+/// In-place inverse FFT (includes the 1/N normalization). Deprecated shim.
 void ifft_inplace(std::span<std::complex<double>> data);
 
-/// Out-of-place convenience wrappers.
+/// Out-of-place convenience wrappers. Deprecated shims.
 [[nodiscard]] std::vector<std::complex<double>> fft(std::span<const std::complex<double>> data);
 [[nodiscard]] std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> data);
 
 /// Power spectrum |X[k]|^2 / N^2 of a float I/Q block after applying
 /// `window` (empty window = rectangular). Input is zero-padded to the next
 /// power of two. Result is linear power per bin, full scale = 1.0.
+/// Deprecated shim over SpectrumEstimator (which reuses plan + scratch).
 [[nodiscard]] std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
                                                  std::span<const double> window = {});
 
-/// Index of the spectrum bin for `freq_hz` given `sample_rate_hz`
-/// (negative frequencies map to the upper half, standard FFT layout).
+/// Index of the spectrum bin whose centre is nearest `freq_hz` given
+/// `sample_rate_hz` (negative frequencies map to the upper half, standard
+/// FFT layout; frequencies beyond +-Nyquist alias modulo the sample rate).
+/// A frequency exactly on the edge between two bins belongs to the bin of
+/// the higher (more positive) frequency; +-Nyquist itself maps to bin
+/// fft_size/2. Returns 0 when fft_size or sample_rate_hz is zero/negative.
 [[nodiscard]] std::size_t bin_for_frequency(double freq_hz, double sample_rate_hz,
                                             std::size_t fft_size) noexcept;
 

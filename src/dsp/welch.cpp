@@ -3,49 +3,63 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-
-#include "dsp/fft.hpp"
+#include <string>
 
 namespace speccal::dsp {
 
-WelchResult welch_psd(std::span<const std::complex<float>> block,
-                      double sample_rate_hz, const WelchConfig& config) {
+WelchEstimator::WelchEstimator(WelchConfig config) : config_(config) {
   if (!is_power_of_two(config.segment_size))
-    throw std::invalid_argument("welch_psd: segment size must be a power of two");
-  if (config.overlap < 0.0 || config.overlap >= 1.0)
-    throw std::invalid_argument("welch_psd: overlap must be in [0, 1)");
-
-  WelchResult out;
-  out.bin_width_hz = sample_rate_hz / static_cast<double>(config.segment_size);
-  if (block.size() < config.segment_size) return out;
-
+    throw std::invalid_argument(
+        "WelchConfig.segment_size must be a power of two (got " +
+        std::to_string(config.segment_size) + ")");
+  if (!(config.overlap >= 0.0 && config.overlap < 1.0))
+    throw std::invalid_argument("WelchConfig.overlap must be in [0, 1) (got " +
+                                std::to_string(config.overlap) + ")");
+  plan_ = PlanCache::shared().plan_f32(config.segment_size);
   const auto window = make_window(config.window, config.segment_size);
-  const double window_power = dsp::window_power(window);
-  const auto hop = std::max<std::size_t>(
+  window_power_ = dsp::window_power(window);
+  window_.assign(window.begin(), window.end());
+  hop_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(config.segment_size) *
                                   (1.0 - config.overlap)));
+}
 
-  out.psd.assign(config.segment_size, 0.0);
-  std::vector<std::complex<double>> work(config.segment_size);
-  for (std::size_t start = 0; start + config.segment_size <= block.size();
-       start += hop) {
-    for (std::size_t i = 0; i < config.segment_size; ++i) {
-      const auto& s = block[start + i];
-      work[i] = std::complex<double>(s.real(), s.imag()) * window[i];
-    }
-    fft_inplace(work);
+void WelchEstimator::estimate_into(std::span<const std::complex<float>> block,
+                                   double sample_rate_hz, WelchResult& out) {
+  const std::size_t seg = config_.segment_size;
+  out.psd.clear();
+  out.segments_averaged = 0;
+  out.bin_width_hz = sample_rate_hz / static_cast<double>(seg);
+  if (block.size() < seg) return;
+
+  out.psd.assign(seg, 0.0);
+  auto work = scratch_.complex_f32(seg);
+  for (std::size_t start = 0; start + seg <= block.size(); start += hop_) {
+    for (std::size_t i = 0; i < seg; ++i) work[i] = block[start + i] * window_[i];
+    plan_->forward(work);
     // Modified periodogram normalized by the window power so that the sum
     // over bins equals the segment's mean power (Parseval-consistent).
-    const double scale = 1.0 / (window_power * static_cast<double>(config.segment_size));
-    for (std::size_t k = 0; k < config.segment_size; ++k)
-      out.psd[k] += std::norm(work[k]) * scale;
+    const double scale = 1.0 / (window_power_ * static_cast<double>(seg));
+    for (std::size_t k = 0; k < seg; ++k)
+      out.psd[k] += static_cast<double>(std::norm(work[k])) * scale;
     ++out.segments_averaged;
   }
   if (out.segments_averaged > 0) {
     const double inv = 1.0 / static_cast<double>(out.segments_averaged);
     for (auto& v : out.psd) v *= inv;
   }
+}
+
+WelchResult WelchEstimator::estimate(std::span<const std::complex<float>> block,
+                                     double sample_rate_hz) {
+  WelchResult out;
+  estimate_into(block, sample_rate_hz, out);
   return out;
+}
+
+WelchResult welch_psd(std::span<const std::complex<float>> block,
+                      double sample_rate_hz, const WelchConfig& config) {
+  return WelchEstimator(config).estimate(block, sample_rate_hz);
 }
 
 double band_power(const WelchResult& psd, double sample_rate_hz, double low_hz,

@@ -4,6 +4,11 @@
 // sells, §2 of the paper) reports PSDs to the cloud. Welch's method —
 // averaged modified periodograms over overlapping windowed segments —
 // trades resolution for variance, which is what occupancy detection needs.
+//
+// The hot path is WelchEstimator: it holds a cached FFT plan, a
+// float-native window and a scratch arena, so estimate_into() on a reused
+// result performs zero allocations per block. The welch_psd free function
+// remains as a deprecated one-shot shim (see DESIGN.md §8).
 #pragma once
 
 #include <complex>
@@ -11,13 +16,20 @@
 #include <span>
 #include <vector>
 
+#include "dsp/plan.hpp"
 #include "dsp/window.hpp"
 
 namespace speccal::dsp {
 
+/// Validation contract (enforced by WelchEstimator's constructor and the
+/// welch_psd shim; violations throw std::invalid_argument naming the
+/// offending parameter):
+///   - segment_size must be a power of two (radix-2 plan);
+///   - overlap must lie in [0, 1) — 0.99 is legal (hop clamps to >= 1
+///     sample), 1.0 would never advance.
 struct WelchConfig {
   std::size_t segment_size = 1024;   // must be a power of two
-  double overlap = 0.5;              // fraction of segment_size
+  double overlap = 0.5;              // fraction of segment_size, in [0, 1)
   WindowType window = WindowType::kHann;
 };
 
@@ -29,9 +41,41 @@ struct WelchResult {
   double bin_width_hz = 0.0;
 };
 
-/// Estimate the PSD of an I/Q block. Throws std::invalid_argument for a
-/// non-power-of-two segment size; returns an empty result when the block
-/// is shorter than one segment.
+/// Plan-based Welch estimator. Construct once per configuration, call
+/// estimate()/estimate_into() per capture block; the FFT plan comes from
+/// the shared PlanCache and segment scratch is reused across calls. Not
+/// thread-safe for concurrent estimates on one instance (the plan itself
+/// is shared and immutable) — keep one estimator per worker.
+class WelchEstimator {
+ public:
+  /// Validates `config` per the WelchConfig contract.
+  explicit WelchEstimator(WelchConfig config = {});
+
+  [[nodiscard]] const WelchConfig& config() const noexcept { return config_; }
+
+  /// Estimate the PSD of an I/Q block. Returns an empty result (psd empty,
+  /// bin_width set) when the block is shorter than one segment.
+  [[nodiscard]] WelchResult estimate(std::span<const std::complex<float>> block,
+                                     double sample_rate_hz);
+
+  /// Zero-steady-state-allocation variant: reuses `out.psd`'s storage.
+  void estimate_into(std::span<const std::complex<float>> block,
+                     double sample_rate_hz, WelchResult& out);
+
+ private:
+  WelchConfig config_;
+  std::shared_ptr<const FftPlan> plan_;
+  std::vector<float> window_;
+  double window_power_ = 0.0;
+  std::size_t hop_ = 1;
+  ScratchArena scratch_;
+};
+
+/// One-shot PSD estimate. Deprecated shim: constructs a WelchEstimator per
+/// call (plan still cached, but window/scratch are rebuilt) — hot paths
+/// should hold a WelchEstimator. Throws std::invalid_argument on an
+/// invalid config; returns an empty result when the block is shorter than
+/// one segment.
 [[nodiscard]] WelchResult welch_psd(std::span<const std::complex<float>> block,
                                     double sample_rate_hz,
                                     const WelchConfig& config = {});

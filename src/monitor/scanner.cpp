@@ -50,6 +50,11 @@ SweepResult SpectrumScanner::sweep(sdr::Device& device, double start_hz,
   const auto samples_per_hop =
       static_cast<std::size_t>(config_.dwell_s * config_.sample_rate_hz);
 
+  // One estimator for the whole sweep: the FFT plan comes from the shared
+  // cache and the segment scratch is reused hop to hop, so the per-hop PSD
+  // allocates only its output bins.
+  dsp::WelchEstimator welch(config_.welch);
+
   for (double center = start_hz + usable / 2.0; center - usable / 2.0 < stop_hz;
        center += usable) {
     HopResult hop;
@@ -57,7 +62,7 @@ SweepResult SpectrumScanner::sweep(sdr::Device& device, double start_hz,
     hop.tune_ok = device.tune(center, config_.sample_rate_hz);
     if (hop.tune_ok) {
       const dsp::Buffer capture = device.capture(samples_per_hop);
-      hop.psd = dsp::welch_psd(capture, config_.sample_rate_hz, config_.welch);
+      welch.estimate_into(capture, config_.sample_rate_hz, hop.psd);
       hop.noise_floor_dbfs =
           to_dbfs(dsp::percentile_floor(hop.psd, config_.floor_quantile));
     }

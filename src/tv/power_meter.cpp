@@ -1,10 +1,73 @@
 #include "tv/power_meter.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/units.hpp"
 
 namespace speccal::tv {
+
+namespace {
+
+PowerMeterConfig validated(PowerMeterConfig config) {
+  if (!(config.sample_rate_hz > 0.0))
+    throw std::invalid_argument(
+        "PowerMeterConfig.sample_rate_hz must be positive (got " +
+        std::to_string(config.sample_rate_hz) + ")");
+  if (!(config.capture_duration_s > 0.0))
+    throw std::invalid_argument(
+        "PowerMeterConfig.capture_duration_s must be positive (got " +
+        std::to_string(config.capture_duration_s) + ")");
+  if (config.filter_taps < 3)
+    throw std::invalid_argument("PowerMeterConfig.filter_taps must be >= 3 (got " +
+                                std::to_string(config.filter_taps) + ")");
+  if (!(config.measure_bandwidth_hz > 0.0) ||
+      config.measure_bandwidth_hz >= config.sample_rate_hz)
+    throw std::invalid_argument(
+        "PowerMeterConfig.measure_bandwidth_hz must be in (0, sample_rate_hz) "
+        "(got " + std::to_string(config.measure_bandwidth_hz) + ")");
+  return config;
+}
+
+}  // namespace
+
+PowerMeter::PowerMeter(PowerMeterConfig config)
+    : config_(validated(config)),
+      // Designed once per meter; a sweep re-uses the taps for every channel.
+      filter_(dsp::design_bandpass(config_.sample_rate_hz,
+                                   -config_.measure_bandwidth_hz / 2.0,
+                                   config_.measure_bandwidth_hz / 2.0,
+                                   config_.filter_taps)),
+      welch_(config_.welch) {}
+
+double PowerMeter::integrate_time_domain(const dsp::Buffer& capture,
+                                         std::size_t& samples_used) const {
+  filter_.reset();
+  filtered_.clear();
+  filter_.process(capture, filtered_);
+
+  // |x|^2 through a long moving average (Parseval: time-domain power equals
+  // the in-band spectral power after the band-pass).
+  const std::size_t warmup = config_.filter_taps;
+  if (filtered_.size() <= warmup) return 0.0;
+  dsp::MovingAverage avg(filtered_.size() - warmup);
+  double mean = 0.0;
+  for (std::size_t i = warmup; i < filtered_.size(); ++i)
+    mean = avg.push(static_cast<double>(std::norm(filtered_[i])));
+  samples_used = filtered_.size() - warmup;
+  return mean;
+}
+
+double PowerMeter::integrate_spectral(const dsp::Buffer& capture,
+                                      std::size_t& samples_used) const {
+  welch_.estimate_into(capture, config_.sample_rate_hz, psd_);
+  if (psd_.segments_averaged == 0) return 0.0;
+  samples_used = psd_.segments_averaged * welch_.config().segment_size;
+  return dsp::band_power(psd_, config_.sample_rate_hz,
+                         -config_.measure_bandwidth_hz / 2.0,
+                         config_.measure_bandwidth_hz / 2.0);
+}
 
 ChannelPowerReading PowerMeter::measure_channel(sdr::Device& device,
                                                 int rf_channel) const {
@@ -23,22 +86,11 @@ ChannelPowerReading PowerMeter::measure_channel(sdr::Device& device,
       static_cast<std::size_t>(config_.capture_duration_s * config_.sample_rate_hz);
   const dsp::Buffer capture = device.capture(count);
 
-  // Band-pass the measurement bandwidth around the (baseband-centred) channel.
-  dsp::FirFilter filter(dsp::design_bandpass(config_.sample_rate_hz,
-                                             -config_.measure_bandwidth_hz / 2.0,
-                                             config_.measure_bandwidth_hz / 2.0,
-                                             config_.filter_taps));
-  const dsp::Buffer filtered = filter.filter(capture);
-
-  // |x|^2 through a long moving average (Parseval: time-domain power equals
-  // the in-band spectral power after the band-pass).
-  const std::size_t warmup = config_.filter_taps;
-  if (filtered.size() <= warmup) return out;
-  dsp::MovingAverage avg(filtered.size() - warmup);
-  double mean = 0.0;
-  for (std::size_t i = warmup; i < filtered.size(); ++i)
-    mean = avg.push(static_cast<double>(std::norm(filtered[i])));
-  out.samples_used = filtered.size() - warmup;
+  const double mean =
+      config_.method == PowerMeterConfig::Method::kSpectral
+          ? integrate_spectral(capture, out.samples_used)
+          : integrate_time_domain(capture, out.samples_used);
+  if (out.samples_used == 0) return out;
 
   out.power_dbfs = mean > 1e-20 ? 10.0 * std::log10(mean) : -200.0;
   // Refer back to the antenna port: dBm = dBFS - gain + full-scale input.

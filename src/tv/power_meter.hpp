@@ -4,16 +4,33 @@
 // desired ATSC channel, then "apply Parseval's identity" by running the
 // magnitude-squared time-domain samples through a very long moving-average
 // filter. The result is reported in dBFS, as in Figure 4.
+//
+// The meter is plan-based: the band-pass FIR is designed once at
+// construction and the filter/scratch buffers are reused across
+// measurements, so a sweep's steady state performs no per-channel design
+// work. A second integration method (Method::kSpectral) computes the same
+// in-band power from a plan-cached Welch PSD — Parseval's identity makes
+// the two agree, and the spectral path shares its FFT plan with every
+// other measurement in the process.
 #pragma once
 
 #include <vector>
 
 #include "dsp/fir.hpp"
+#include "dsp/welch.hpp"
 #include "sdr/device.hpp"
 #include "tv/channels.hpp"
 
 namespace speccal::tv {
 
+/// Validation contract (enforced by PowerMeter's constructor; violations
+/// throw std::invalid_argument naming the offending parameter):
+///   - sample_rate_hz must be positive;
+///   - capture_duration_s must be positive;
+///   - filter_taps must be >= 3 (the FIR design needs a real prototype);
+///   - measure_bandwidth_hz must be positive and smaller than
+///     sample_rate_hz (the band-pass must fit inside Nyquist);
+///   - welch (used by Method::kSpectral) follows the WelchConfig contract.
 struct PowerMeterConfig {
   double sample_rate_hz = 8e6;     // must cover one 6 MHz channel
   double fixed_gain_db = 20.0;     // paper: fixed to keep readings comparable.
@@ -26,6 +43,21 @@ struct PowerMeterConfig {
   double capture_duration_s = 0.02;
   /// Pass-band width measured inside the channel (8VSB occupies ~5.38 MHz).
   double measure_bandwidth_hz = 5.38e6;
+
+  /// How the in-band power is integrated.
+  enum class Method {
+    /// Band-pass FIR + |x|^2 + long moving average — the paper's GNU Radio
+    /// pipeline and the default.
+    kTimeDomain,
+    /// Plan-based Welch PSD + band integration over the measurement
+    /// bandwidth. Parseval's identity makes this agree with kTimeDomain;
+    /// it reuses the shared FFT plan and is the natural choice when a
+    /// node also reports PSDs.
+    kSpectral,
+  };
+  Method method = Method::kTimeDomain;
+  /// Welch settings for Method::kSpectral.
+  dsp::WelchConfig welch;
 };
 
 struct ChannelPowerReading {
@@ -38,9 +70,14 @@ struct ChannelPowerReading {
 };
 
 /// Measures one or more ATSC channels through a Device (simulated or real).
+/// Filter state and scratch are reused across measurements, so a single
+/// instance must not measure concurrently from multiple threads; the
+/// fleet engine gives each worker its own meter.
 class PowerMeter {
  public:
-  explicit PowerMeter(PowerMeterConfig config = {}) : config_(config) {}
+  /// Validates the config (see PowerMeterConfig) and designs the band-pass
+  /// filter once. Throws std::invalid_argument on contract violations.
+  explicit PowerMeter(PowerMeterConfig config = {});
 
   /// Tune, capture, filter, integrate. The device is left in manual gain.
   [[nodiscard]] ChannelPowerReading measure_channel(sdr::Device& device, int rf_channel) const;
@@ -52,7 +89,18 @@ class PowerMeter {
   [[nodiscard]] const PowerMeterConfig& config() const noexcept { return config_; }
 
  private:
+  [[nodiscard]] double integrate_time_domain(const dsp::Buffer& capture,
+                                             std::size_t& samples_used) const;
+  [[nodiscard]] double integrate_spectral(const dsp::Buffer& capture,
+                                          std::size_t& samples_used) const;
+
   PowerMeterConfig config_;
+  // Per-measurement scratch (reset/reused each call); mutable so the
+  // measurement API stays const like every other read-only evaluator.
+  mutable dsp::FirFilter filter_;
+  mutable dsp::Buffer filtered_;
+  mutable dsp::WelchEstimator welch_;
+  mutable dsp::WelchResult psd_;
 };
 
 }  // namespace speccal::tv

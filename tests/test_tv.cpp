@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "prop/pathloss.hpp"
 #include "sdr/emitter.hpp"
@@ -142,6 +144,59 @@ TEST(PowerMeter, InvalidChannelReportsFailure) {
   const auto reading = meter.measure_channel(*fix.device, 99);
   EXPECT_FALSE(reading.tune_ok);
   EXPECT_EQ(reading.samples_used, 0u);
+}
+
+TEST(PowerMeter, ValidationNamesOffendingParameter) {
+  const auto expect_throw_naming = [](tv::PowerMeterConfig cfg, const char* param) {
+    try {
+      tv::PowerMeter meter(cfg);
+      FAIL() << "expected std::invalid_argument naming " << param;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(param), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+
+  tv::PowerMeterConfig cfg;
+  cfg.sample_rate_hz = 0.0;
+  expect_throw_naming(cfg, "sample_rate_hz");
+
+  cfg = {};
+  cfg.capture_duration_s = -1.0;
+  expect_throw_naming(cfg, "capture_duration_s");
+
+  cfg = {};
+  cfg.filter_taps = 2;
+  expect_throw_naming(cfg, "filter_taps");
+
+  cfg = {};
+  cfg.measure_bandwidth_hz = cfg.sample_rate_hz;  // must fit inside Nyquist
+  expect_throw_naming(cfg, "measure_bandwidth_hz");
+
+  // The spectral method's Welch settings follow the WelchConfig contract.
+  cfg = {};
+  cfg.method = tv::PowerMeterConfig::Method::kSpectral;
+  cfg.welch.segment_size = 1000;
+  expect_throw_naming(cfg, "segment_size");
+}
+
+TEST(PowerMeter, SpectralMethodAgreesWithTimeDomain) {
+  // Parseval's identity: band-passed time-domain power equals the Welch
+  // PSD integrated over the same band. The two integration methods must
+  // agree on a real 8VSB-like channel to within a fraction of a dB.
+  MeterFixture fix(22);
+  tv::PowerMeterConfig time_cfg;
+  time_cfg.fixed_gain_db = 10.0;
+  tv::PowerMeterConfig spec_cfg = time_cfg;
+  spec_cfg.method = tv::PowerMeterConfig::Method::kSpectral;
+
+  const auto time_reading = tv::PowerMeter(time_cfg).measure_channel(*fix.device, 22);
+  const auto spec_reading = tv::PowerMeter(spec_cfg).measure_channel(*fix.device, 22);
+  ASSERT_TRUE(time_reading.tune_ok);
+  ASSERT_TRUE(spec_reading.tune_ok);
+  EXPECT_GT(spec_reading.samples_used, 10000u);
+  EXPECT_NEAR(spec_reading.power_dbfs, time_reading.power_dbfs, 0.75);
+  EXPECT_NEAR(spec_reading.power_dbm, time_reading.power_dbm, 0.75);
 }
 
 TEST(PowerMeter, ObstructionAttenuatesReading) {
