@@ -73,9 +73,11 @@ struct ScalingRow {
   double nodes_per_s = 0.0;
   double speedup = 0.0;
   bool identical = false;
+  bool oversubscribed = false;  // threads > real hardware threads
 };
 
-bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& rows) {
+bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& rows,
+                      const calib::FleetStageStats& serial_stages) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "fleet_scaling: cannot write " << path << "\n";
@@ -86,9 +88,11 @@ bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& ro
   w.key("bench");
   w.value("fleet_scaling");
   w.key("schema_version");
-  w.value(1);
+  w.value(2);
   w.key("fleet_size");
   w.value(kFleetSize);
+  // Real host parallelism: rows sweeping more threads than this are
+  // annotated oversubscribed (their speedup is not expected to move).
   w.key("hardware_threads");
   w.value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
   w.key("results");
@@ -105,6 +109,33 @@ bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& ro
     w.value(row.speedup);
     w.key("identical_to_serial");
     w.value(row.identical);
+    w.key("oversubscribed");
+    w.value(row.oversubscribed);
+    w.end_object();
+  }
+  w.end_array();
+  // Where per-node calibration time goes (serial run), so capture-path
+  // and estimator PRs can see which stage they moved.
+  w.key("stage_metrics_serial");
+  w.begin_array();
+  for (const auto& stage : serial_stages.rows) {
+    w.begin_object();
+    w.key("stage");
+    w.value(calib::to_string(stage.stage));
+    w.key("nodes");
+    w.value(stage.nodes);
+    w.key("p50_ms");
+    w.value(stage.p50_ms);
+    w.key("p90_ms");
+    w.value(stage.p90_ms);
+    w.key("max_ms");
+    w.value(stage.max_ms);
+    w.key("mean_ms");
+    w.value(stage.mean_ms);
+    w.key("samples_captured");
+    w.value(stage.samples_captured);
+    w.key("frames_decoded");
+    w.value(stage.frames_decoded);
     w.end_object();
   }
   w.end_array();
@@ -130,9 +161,11 @@ int main(int argc, char** argv) {
   std::cout << "Fleet scaling: " << kFleetSize << " nodes, hardware threads = "
             << std::thread::hardware_concurrency() << "\n";
 
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   std::vector<NodeFingerprint> serial;
   double serial_rate = 0.0;
   std::vector<ScalingRow> rows;
+  calib::FleetStageStats serial_stages;
 
   util::Table table({"threads", "wall s", "nodes/s", "speedup", "identical"});
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -154,16 +187,18 @@ int main(int argc, char** argv) {
     if (threads == 1) {
       serial = prints;
       serial_rate = summary.nodes_per_s;
+      serial_stages = summary.stage_stats;
     } else {
       identical = bitwise_equal(serial, prints);
     }
-    table.add_row({std::to_string(threads),
+    const bool oversubscribed = threads > hw_threads;
+    table.add_row({std::to_string(threads) + (oversubscribed ? "*" : ""),
                    util::format_fixed(summary.wall_s, 3),
                    util::format_fixed(summary.nodes_per_s, 2),
                    util::format_fixed(summary.nodes_per_s / serial_rate, 2) + "x",
                    identical ? "yes" : "NO"});
     rows.push_back({threads, summary.wall_s, summary.nodes_per_s,
-                    summary.nodes_per_s / serial_rate, identical});
+                    summary.nodes_per_s / serial_rate, identical, oversubscribed});
     if (!identical) {
       std::cerr << "FAIL: parallel output diverged from serial at " << threads
                 << " threads\n";
@@ -172,5 +207,18 @@ int main(int argc, char** argv) {
   }
   table.set_title("FleetCalibrator scaling (link-budget fidelity)");
   table.print(std::cout);
-  return write_bench_json(json_path, rows) ? 0 : 1;
+  if (hw_threads < 8)
+    std::cout << "* oversubscribed (more workers than the " << hw_threads
+              << " hardware thread(s); speedup is not expected to move)\n";
+
+  util::Table stage_table({"stage", "nodes", "p50 ms", "p90 ms", "mean ms"});
+  for (const auto& row : serial_stages.rows)
+    stage_table.add_row({calib::to_string(row.stage), std::to_string(row.nodes),
+                         util::format_fixed(row.p50_ms, 1),
+                         util::format_fixed(row.p90_ms, 1),
+                         util::format_fixed(row.mean_ms, 1)});
+  stage_table.set_title("Per-node stage timing (serial run)");
+  stage_table.print(std::cout);
+
+  return write_bench_json(json_path, rows, serial_stages) ? 0 : 1;
 }

@@ -80,6 +80,25 @@ void FirFilter::process(std::span<const std::complex<float>> in,
   }
 }
 
+void FirFilter::filter_into(std::span<const std::complex<float>> in,
+                            std::span<std::complex<float>> out) {
+  if (out.size() != in.size())
+    throw std::invalid_argument("FirFilter::filter_into: out size must match in size");
+  const std::size_t n = taps_.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto& s = in[i];
+    delay_[head_] = std::complex<double>(s.real(), s.imag());
+    std::complex<double> acc(0.0, 0.0);
+    std::size_t idx = head_;
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += taps_[t] * delay_[idx];
+      idx = (idx == 0) ? n - 1 : idx - 1;
+    }
+    head_ = (head_ + 1) % n;
+    out[i] = {static_cast<float>(acc.real()), static_cast<float>(acc.imag())};
+  }
+}
+
 std::vector<std::complex<float>> FirFilter::filter(std::span<const std::complex<float>> in) {
   std::vector<std::complex<float>> out;
   process(in, out);

@@ -38,6 +38,14 @@ class FirFilter {
   void process(std::span<const std::complex<float>> in,
                std::vector<std::complex<float>>& out);
 
+  /// Allocation-free variant: filter a block into a caller-owned span of
+  /// the same length (one output per input; `in` and `out` may not
+  /// overlap). Same streaming state as process(). The fast path for short
+  /// blocks where FFT convolution does not pay off — see
+  /// dsp::prefer_fft_convolution.
+  void filter_into(std::span<const std::complex<float>> in,
+                   std::span<std::complex<float>> out);
+
   /// Convenience: filter a whole block and return the result.
   [[nodiscard]] std::vector<std::complex<float>> filter(
       std::span<const std::complex<float>> in);

@@ -14,18 +14,25 @@ namespace speccal::dsp {
 
 /// Phase-accumulating complex oscillator. Phase continuity is preserved
 /// across blocks, so multi-block captures have no spectral seams.
+///
+/// Samples are produced by a phasor recurrence (one complex multiply per
+/// sample) rather than a sin/cos pair; the double-precision phasor is
+/// renormalized to the unit circle every kRenormInterval samples, which
+/// bounds the amplitude drift well below float resolution for any
+/// realistic capture length.
 class Nco {
  public:
-  Nco(double freq_hz, double sample_rate_hz) noexcept
-      : phase_step_(2.0 * std::numbers::pi * freq_hz / sample_rate_hz) {}
+  Nco(double freq_hz, double sample_rate_hz) noexcept {
+    const double step = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+    step_ = {std::cos(step), std::sin(step)};
+  }
 
   /// Next oscillator sample e^{j phase}.
   [[nodiscard]] std::complex<float> next() noexcept {
-    const std::complex<float> out(static_cast<float>(std::cos(phase_)),
-                                  static_cast<float>(std::sin(phase_)));
-    phase_ += phase_step_;
-    if (phase_ > std::numbers::pi * 2.0) phase_ -= std::numbers::pi * 2.0;
-    if (phase_ < -std::numbers::pi * 2.0) phase_ += std::numbers::pi * 2.0;
+    const std::complex<float> out(static_cast<float>(phasor_.real()),
+                                  static_cast<float>(phasor_.imag()));
+    phasor_ *= step_;
+    if (++since_renorm_ >= kRenormInterval) renormalize();
     return out;
   }
 
@@ -37,12 +44,26 @@ class Nco {
     for (std::size_t i = 0; i < n; ++i) accum[i] += in[i] * next() * amplitude;
   }
 
-  void set_phase(double radians) noexcept { phase_ = radians; }
-  [[nodiscard]] double phase() const noexcept { return phase_; }
+  void set_phase(double radians) noexcept {
+    phasor_ = {std::cos(radians), std::sin(radians)};
+    since_renorm_ = 0;
+  }
+  /// Current phase as a principal value in (-pi, pi].
+  [[nodiscard]] double phase() const noexcept {
+    return std::atan2(phasor_.imag(), phasor_.real());
+  }
 
  private:
-  double phase_step_;
-  double phase_ = 0.0;
+  static constexpr int kRenormInterval = 1024;
+
+  void renormalize() noexcept {
+    phasor_ /= std::abs(phasor_);
+    since_renorm_ = 0;
+  }
+
+  std::complex<double> step_{1.0, 0.0};
+  std::complex<double> phasor_{1.0, 0.0};
+  int since_renorm_ = 0;
 };
 
 }  // namespace speccal::dsp

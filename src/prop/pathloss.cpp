@@ -10,7 +10,7 @@ namespace speccal::prop {
 double free_space_path_loss_db(double distance_m, double freq_hz) noexcept {
   const double d = std::max(distance_m, 1.0);
   // 20 log10(4 pi d f / c)
-  return 20.0 * std::log10(4.0 * 3.14159265358979323846 * d * freq_hz /
+  return 20.0 * std::log10(4.0 * util::kPi * d * freq_hz /
                            util::kSpeedOfLight);
 }
 

@@ -7,6 +7,7 @@
 // measurements require: tune, set gain or AGC, stream I/Q.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -89,6 +90,16 @@ class Device {
   /// Capture `count` I/Q samples starting at the device's current stream
   /// time. Advances stream time by count / sample_rate.
   [[nodiscard]] virtual dsp::Buffer capture(std::size_t count) = 0;
+
+  /// Capture into a caller-owned buffer — the zero-allocation path for
+  /// streaming measurement loops that reuse one block. Semantics match
+  /// capture(out.size()). The default adapter falls back to capture();
+  /// devices with a native scatter path (SimulatedSdr, real streaming
+  /// drivers) override it.
+  virtual void capture_into(std::span<dsp::Sample> out) {
+    const dsp::Buffer buf = capture(out.size());
+    std::copy(buf.begin(), buf.end(), out.begin());
+  }
 
   /// Current stream time [s] since device creation.
   [[nodiscard]] virtual double stream_time_s() const = 0;

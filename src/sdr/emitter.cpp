@@ -36,35 +36,60 @@ void FixedEmitterSource::render(const CaptureContext& ctx,
   const double target_mw = util::dbm_to_watts(rx_power_dbm) * 1e3;
   if (target_mw < 1e-18) return;
 
-  // (Re)build the channel shaping filter for the current tuning.
+  // (Re)design the channel shaping taps for the current tuning.
   const double clipped_low = std::max(low, -ctx.sample_rate_hz / 2.0 * 0.98);
   const double clipped_high = std::min(high, ctx.sample_rate_hz / 2.0 * 0.98);
   if (clipped_high <= clipped_low) return;
   const FilterKey key{ctx.sample_rate_hz, clipped_low, clipped_high};
-  if (shaper_ == nullptr || !(key == filter_key_)) {
-    shaper_ = std::make_unique<dsp::FirFilter>(
-        dsp::design_bandpass(ctx.sample_rate_hz, clipped_low, clipped_high, 127));
+  if (shaper_taps_.empty() || !(key == filter_key_)) {
+    shaper_taps_ =
+        dsp::design_bandpass(ctx.sample_rate_hz, clipped_low, clipped_high, 127);
+    direct_shaper_.reset();
+    fft_shaper_.reset();
     filter_key_ = key;
-  } else {
-    shaper_->reset();
+    ++shaper_rebuilds_;
   }
 
-  // White noise -> channel shape. The block is normalized to the exact
-  // target power afterwards, so the filter's gain shape does not matter.
   const std::size_t n = accum.size();
-  dsp::Buffer white(n);
+  if (n == 0) return;
+
+  // White noise -> channel shape. The filter is primed with taps-1 extra
+  // leading samples so the warm-up transient never reaches the output (or
+  // the power normalization): only steady-state samples are emitted, and
+  // the block is normalized to the exact target power afterwards, so the
+  // filter's gain shape does not matter.
+  const std::size_t prime = shaper_taps_.size() - 1;
+  const std::size_t total = n + prime;
+  auto white = scratch_.white(total);
   for (auto& s : white)
     s = dsp::Sample(static_cast<float>(rng_.normal()), static_cast<float>(rng_.normal()));
-  dsp::Buffer shaped = shaper_->filter(white);
+  auto shaped = scratch_.shaped(total);
+
+  // Crossover: block convolution wins for long filters on full capture
+  // buffers; tiny blocks stay on the direct path.
+  if (dsp::prefer_fft_convolution(shaper_taps_.size(), total)) {
+    if (fft_shaper_ == nullptr)
+      fft_shaper_ = std::make_unique<dsp::FftConvolver>(shaper_taps_);
+    else
+      fft_shaper_->reset();
+    fft_shaper_->filter_into(white, shaped);
+  } else {
+    if (direct_shaper_ == nullptr)
+      direct_shaper_ = std::make_unique<dsp::FirFilter>(shaper_taps_);
+    else
+      direct_shaper_->reset();
+    direct_shaper_->filter_into(white, shaped);
+  }
+  const auto steady = shaped.subspan(prime, n);
 
   double fraction_in_band = 1.0;
   if (config_.pilot_offset_hz) fraction_in_band = 1.0 - util::db_to_ratio(config_.pilot_rel_db);
 
-  const double shaped_power = dsp::mean_power(shaped);
+  const double shaped_power = dsp::mean_power(steady);
   if (shaped_power <= 0.0) return;
   const float scale =
       static_cast<float>(std::sqrt(target_mw * fraction_in_band / shaped_power));
-  for (std::size_t i = 0; i < n; ++i) accum[i] += shaped[i] * scale;
+  for (std::size_t i = 0; i < n; ++i) accum[i] += steady[i] * scale;
 
   // Pilot tone (ATSC-style), placed relative to the carrier.
   if (config_.pilot_offset_hz) {
@@ -75,8 +100,7 @@ void FixedEmitterSource::render(const CaptureContext& ctx,
       dsp::Nco nco(pilot_freq, ctx.sample_rate_hz);
       // Deterministic start phase tied to capture time keeps renders
       // continuous across adjacent buffers.
-      nco.set_phase(2.0 * 3.14159265358979323846 *
-                    std::fmod(pilot_freq * ctx.start_time_s, 1.0));
+      nco.set_phase(2.0 * util::kPi * std::fmod(pilot_freq * ctx.start_time_s, 1.0));
       for (std::size_t i = 0; i < n; ++i) accum[i] += nco.next() * amp;
     }
   }

@@ -11,10 +11,13 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "dsp/convolver.hpp"
 #include "dsp/fir.hpp"
 #include "geo/wgs84.hpp"
 #include "prop/linkbudget.hpp"
+#include "sdr/render_scratch.hpp"
 #include "sdr/sim.hpp"
 #include "util/rng.hpp"
 
@@ -48,10 +51,26 @@ class FixedEmitterSource final : public SignalSource {
   /// environment — the model-level answer the waveform realizes.
   [[nodiscard]] double received_power_dbm(const RxEnvironment& rx) const noexcept;
 
+  /// Times the channel shaper was (re)designed — one per distinct tuning
+  /// (filter-key cache; see tests).
+  [[nodiscard]] std::size_t shaper_rebuilds() const noexcept { return shaper_rebuilds_; }
+
+  /// Render-buffer pool statistics (zero-allocation assertions in tests).
+  [[nodiscard]] RenderScratch::Stats render_scratch_stats() const noexcept {
+    return scratch_.stats();
+  }
+  /// Bytes reserved inside the FFT convolver's scratch (0 until the FFT
+  /// path has run; monotone afterwards).
+  [[nodiscard]] std::size_t convolver_scratch_bytes() const noexcept {
+    return fft_shaper_ ? fft_shaper_->scratch_capacity_bytes() : 0;
+  }
+
  private:
   EmitterConfig config_;
   util::Rng rng_;
-  // Cached channel-shaping filter, rebuilt when the tuning changes.
+  // Cached channel-shaping filter, rebuilt when the tuning changes. The
+  // taps are designed once per tuning; the direct and FFT engines are
+  // built lazily from them (the per-render crossover heuristic picks one).
   struct FilterKey {
     double sample_rate_hz = 0.0;
     double low_hz = 0.0;
@@ -59,7 +78,11 @@ class FixedEmitterSource final : public SignalSource {
     bool operator==(const FilterKey&) const = default;
   };
   FilterKey filter_key_;
-  std::unique_ptr<dsp::FirFilter> shaper_;
+  std::vector<std::complex<double>> shaper_taps_;
+  std::unique_ptr<dsp::FirFilter> direct_shaper_;
+  std::unique_ptr<dsp::FftConvolver> fft_shaper_;
+  RenderScratch scratch_;
+  std::size_t shaper_rebuilds_ = 0;
 };
 
 }  // namespace speccal::sdr

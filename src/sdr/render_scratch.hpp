@@ -1,0 +1,56 @@
+// Per-source reusable render buffers for the simulated capture hot path.
+//
+// Every FixedEmitterSource::render used to allocate two fresh dsp::Buffers
+// per capture; at fleet scale that is two heap round-trips per source per
+// hop. RenderScratch owns those buffers instead: pools grow monotonically
+// to the largest block ever requested and are reused verbatim afterwards,
+// so steady-state captures perform zero heap allocations. The stats
+// counters let tests assert exactly that (grow_events stops moving after
+// the first capture per tuning).
+//
+// Ownership rule: one RenderScratch per SignalSource, owned by the source.
+// Not thread-safe — the fleet engine gives every worker its own device and
+// source graph, so no pool is ever shared across threads (DESIGN.md
+// "Capture-path performance").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/iq.hpp"
+
+namespace speccal::sdr {
+
+class RenderScratch {
+ public:
+  struct Stats {
+    std::size_t requests = 0;     // spans handed out since construction
+    std::size_t grow_events = 0;  // requests that had to (re)allocate
+    std::size_t bytes_reserved = 0;
+  };
+
+  /// White-noise staging buffer (pre-filter).
+  [[nodiscard]] std::span<dsp::Sample> white(std::size_t n) { return grab(white_, n); }
+  /// Shaped-output buffer (post-filter).
+  [[nodiscard]] std::span<dsp::Sample> shaped(std::size_t n) { return grab(shaped_, n); }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return {requests_, grow_events_,
+            (white_.capacity() + shaped_.capacity()) * sizeof(dsp::Sample)};
+  }
+
+ private:
+  [[nodiscard]] std::span<dsp::Sample> grab(dsp::Buffer& pool, std::size_t n) {
+    ++requests_;
+    if (pool.capacity() < n) ++grow_events_;
+    if (pool.size() < n) pool.resize(n);
+    return {pool.data(), n};
+  }
+
+  dsp::Buffer white_;
+  dsp::Buffer shaped_;
+  std::size_t requests_ = 0;
+  std::size_t grow_events_ = 0;
+};
+
+}  // namespace speccal::sdr

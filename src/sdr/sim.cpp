@@ -41,7 +41,14 @@ bool SimulatedSdr::tune(double center_freq_hz, double sample_rate_hz) {
 }
 
 dsp::Buffer SimulatedSdr::capture(std::size_t count) {
-  dsp::Buffer buf(count, dsp::Sample{0.0f, 0.0f});
+  dsp::Buffer buf(count);
+  capture_into(buf);
+  return buf;
+}
+
+void SimulatedSdr::capture_into(std::span<dsp::Sample> out) {
+  const std::size_t count = out.size();
+  std::fill(out.begin(), out.end(), dsp::Sample{0.0f, 0.0f});
   if (tuned_ok_) {
     CaptureContext ctx;
     ctx.center_freq_hz = actual_center_freq_hz_;
@@ -49,20 +56,20 @@ dsp::Buffer SimulatedSdr::capture(std::size_t count) {
     ctx.start_time_s = stream_time_s_;
     ctx.sample_count = count;
     ctx.rx = &rx_;
-    for (auto& src : sources_) src->render(ctx, buf);
+    for (auto& src : sources_) src->render(ctx, out);
     if (info_.frontend_loss_db != 0.0) {
       const float atten =
           static_cast<float>(util::db_to_amplitude(-info_.frontend_loss_db));
-      for (auto& s : buf) s *= atten;
+      for (auto& s : out) s *= atten;
     }
   }
-  add_thermal_noise(buf);
+  add_thermal_noise(out);
 
   double gain = gain_db_;
   if (gain_mode_ == GainMode::kAgc) {
     // Measure antenna-port power (sqrt-mW units -> dBm) and pick the gain
     // that puts it at the AGC target.
-    const double power_dbm = dsp::mean_power_dbfs(buf);  // dB rel. 1 mW here
+    const double power_dbm = dsp::mean_power_dbfs(out);  // dB rel. 1 mW here
     gain = agc_target_dbfs_ + info_.full_scale_input_dbm - power_dbm;
     gain = std::clamp(gain, 0.0, 70.0);
     gain_db_ = gain;  // expose what the AGC chose
@@ -71,11 +78,10 @@ dsp::Buffer SimulatedSdr::capture(std::size_t count) {
   // sqrt-mW -> full-scale units.
   const float scale =
       static_cast<float>(util::db_to_amplitude(gain - info_.full_scale_input_dbm));
-  for (auto& s : buf) s *= scale;
+  for (auto& s : out) s *= scale;
 
-  quantize(buf);
+  quantize(out);
   stream_time_s_ += static_cast<double>(count) / sample_rate_hz_;
-  return buf;
 }
 
 void SimulatedSdr::add_thermal_noise(std::span<dsp::Sample> buf) {

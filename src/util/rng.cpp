@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/units.hpp"
+
 namespace speccal::util {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
@@ -62,7 +64,7 @@ double Rng::normal() noexcept {
   while (u1 <= 0.0) u1 = uniform();
   const double u2 = uniform();
   const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  const double angle = 2.0 * kPi * u2;
   cached_normal_ = radius * std::sin(angle);
   has_cached_normal_ = true;
   return radius * std::cos(angle);

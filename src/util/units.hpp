@@ -11,8 +11,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <numbers>
 
 namespace speccal::util {
+
+/// The circle constant — the one definition the whole tree uses (no
+/// hand-written 3.14159... literals outside this header).
+inline constexpr double kPi = std::numbers::pi;
 
 /// Speed of light in vacuum [m/s].
 inline constexpr double kSpeedOfLight = 299'792'458.0;
@@ -95,11 +100,11 @@ constexpr double operator""_km(long double v) { return static_cast<double>(v) * 
 }
 
 [[nodiscard]] inline constexpr double deg_to_rad(double deg) noexcept {
-  return deg * 3.14159265358979323846 / 180.0;
+  return deg * kPi / 180.0;
 }
 
 [[nodiscard]] inline constexpr double rad_to_deg(double rad) noexcept {
-  return rad * 180.0 / 3.14159265358979323846;
+  return rad * 180.0 / kPi;
 }
 
 }  // namespace speccal::util

@@ -270,6 +270,174 @@ TEST(SimulatedSdr, FrontendLossAttenuatesSignalNotNoise) {
   EXPECT_NEAR(floor, speccal::prop::noise_floor_dbm(2e6, 7.0) + 40.0 + 10.0, 0.5);
 }
 
+namespace {
+s::EmitterConfig tv_emitter_config(bool pilot) {
+  s::EmitterConfig cfg;
+  cfg.emitter_id = 77;
+  cfg.position = g::destination({37.87, -122.27, 10.0}, 90.0, 15e3);
+  cfg.position.alt_m = 180.0;
+  cfg.carrier_hz = 521e6;
+  cfg.bandwidth_hz = 5.38e6;
+  cfg.eirp_dbm = 82.0;
+  cfg.link.model = speccal::prop::PathModel::kFreeSpace;
+  if (pilot) cfg.pilot_offset_hz = -2690559.0;
+  return cfg;
+}
+
+s::CaptureContext tv_capture_ctx(const s::RxEnvironment& rx, std::size_t n,
+                                 double start_time_s = 0.0) {
+  s::CaptureContext ctx;
+  ctx.center_freq_hz = 521e6;
+  ctx.sample_rate_hz = 8e6;
+  ctx.sample_count = n;
+  ctx.start_time_s = start_time_s;
+  ctx.rx = &rx;
+  return ctx;
+}
+}  // namespace
+
+TEST(Emitter, RenderedPowerMatchesLinkBudgetWithinTenthDb) {
+  // Regression for the warm-up-transient bias: the 127-tap shaper's
+  // leading transient used to be included in the normalization, skewing
+  // short-buffer power. The filter is now primed, so every rendered
+  // buffer — short ones included — carries the link-budget power.
+  const auto rx = open_site();
+  for (const std::size_t n : {512u, 2048u, 65536u}) {
+    s::FixedEmitterSource source(tv_emitter_config(false), Rng(31));
+    const double want_dbm = source.received_power_dbm(rx);
+    const double target_mw = speccal::util::dbm_to_watts(want_dbm) * 1e3;
+
+    const auto ctx = tv_capture_ctx(rx, n);
+    d::Buffer buf(n, {0.0f, 0.0f});
+    source.render(ctx, buf);
+    const double got_mw = d::mean_power(buf);
+    EXPECT_NEAR(10.0 * std::log10(got_mw / target_mw), 0.0, 0.1) << "n=" << n;
+  }
+}
+
+TEST(Emitter, OutOfBandEarlyExitLeavesAccumulatorUntouched) {
+  s::FixedEmitterSource source(tv_emitter_config(false), Rng(33));
+  const auto rx = open_site();
+  auto ctx = tv_capture_ctx(rx, 1000);
+  ctx.center_freq_hz = 700e6;  // channel nowhere near the capture
+
+  // Pre-load the accumulator: the early exit must not even rescale it.
+  const d::Sample sentinel{0.25f, -0.75f};
+  d::Buffer buf(1000, sentinel);
+  source.render(ctx, buf);
+  for (const auto& v : buf) EXPECT_EQ(v, sentinel);
+  EXPECT_EQ(source.shaper_rebuilds(), 0u);  // never got as far as a design
+}
+
+TEST(Emitter, PilotPhaseContinuousAcrossAdjacentBuffers) {
+  auto cfg = tv_emitter_config(true);
+  cfg.pilot_rel_db = -3.0;  // strong pilot so the noise averages out
+  s::FixedEmitterSource source(cfg, Rng(35));
+  const auto rx = open_site();
+
+  constexpr std::size_t n = 1 << 14;
+  constexpr double fs = 8e6;
+  const double pilot_freq = *cfg.pilot_offset_hz;  // centred capture
+
+  // Render two adjacent buffers (start times n/fs apart) and measure the
+  // pilot's phase in each by correlating against the absolute-time
+  // reference e^{j 2 pi f t}. Continuity => both phases agree.
+  double phases[2] = {0.0, 0.0};
+  for (int b = 0; b < 2; ++b) {
+    const double t0 = static_cast<double>(b) * static_cast<double>(n) / fs;
+    d::Buffer buf(n, {0.0f, 0.0f});
+    source.render(tv_capture_ctx(rx, n, t0), buf);
+    std::complex<double> corr{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = t0 + static_cast<double>(i) / fs;
+      const double ph = 2.0 * speccal::util::kPi * pilot_freq * t;
+      corr += std::complex<double>(buf[i].real(), buf[i].imag()) *
+              std::complex<double>(std::cos(ph), -std::sin(ph));
+    }
+    phases[b] = std::atan2(corr.imag(), corr.real());
+  }
+  double diff = phases[1] - phases[0];
+  while (diff > speccal::util::kPi) diff -= 2.0 * speccal::util::kPi;
+  while (diff < -speccal::util::kPi) diff += 2.0 * speccal::util::kPi;
+  EXPECT_NEAR(diff, 0.0, 0.15);
+}
+
+TEST(Emitter, ShaperRebuildsOnlyOnRetune) {
+  s::FixedEmitterSource source(tv_emitter_config(false), Rng(37));
+  const auto rx = open_site();
+  d::Buffer buf(4096, {0.0f, 0.0f});
+
+  source.render(tv_capture_ctx(rx, buf.size()), buf);
+  source.render(tv_capture_ctx(rx, buf.size(), 0.01), buf);
+  EXPECT_EQ(source.shaper_rebuilds(), 1u);  // same tuning: cached taps
+
+  auto retuned = tv_capture_ctx(rx, buf.size());
+  retuned.sample_rate_hz = 10e6;
+  source.render(retuned, buf);
+  EXPECT_EQ(source.shaper_rebuilds(), 2u);
+
+  auto shifted = tv_capture_ctx(rx, buf.size());
+  shifted.center_freq_hz = 523e6;  // moves the band edges in baseband
+  source.render(shifted, buf);
+  EXPECT_EQ(source.shaper_rebuilds(), 3u);
+
+  source.render(tv_capture_ctx(rx, buf.size()), buf);
+  EXPECT_EQ(source.shaper_rebuilds(), 4u);  // back to the original key
+}
+
+TEST(SimulatedSdr, SteadyStateCaptureIsAllocationFree) {
+  // Acceptance check: after the first capture per tuning, repeated
+  // captures grow no pool — neither the source's RenderScratch nor the
+  // convolver's arena.
+  auto source =
+      std::make_shared<s::FixedEmitterSource>(tv_emitter_config(true), Rng(39));
+  s::SimulatedSdr dev(s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(40));
+  dev.add_source(source);
+  dev.set_gain_mode(s::GainMode::kManual);
+  dev.set_gain_db(20.0);
+  ASSERT_TRUE(dev.tune(521e6, 8e6));
+
+  d::Buffer buf(65536);
+  dev.capture_into(buf);  // first capture: pools grow, filter is designed
+  const auto warm = source->render_scratch_stats();
+  const std::size_t warm_conv_bytes = source->convolver_scratch_bytes();
+  EXPECT_GT(warm.grow_events, 0u);
+  EXPECT_GT(warm.bytes_reserved, 0u);
+
+  for (int i = 0; i < 8; ++i) dev.capture_into(buf);
+  const auto steady = source->render_scratch_stats();
+  EXPECT_EQ(steady.grow_events, warm.grow_events);
+  EXPECT_EQ(steady.bytes_reserved, warm.bytes_reserved);
+  EXPECT_EQ(source->convolver_scratch_bytes(), warm_conv_bytes);
+  EXPECT_GT(steady.requests, warm.requests);  // pools were actually reused
+  EXPECT_EQ(source->shaper_rebuilds(), 1u);
+}
+
+TEST(SimulatedSdr, CaptureIntoMatchesCapturePipeline) {
+  // Same device state + same RNG seed => identical samples either way.
+  auto make_dev = [](std::uint64_t seed) {
+    auto dev = std::make_unique<s::SimulatedSdr>(
+        s::SimulatedSdr::bladerf_like_info(), open_site(), Rng(seed));
+    dev->add_source(
+        std::make_shared<s::FixedEmitterSource>(tv_emitter_config(true), Rng(45)));
+    dev->set_gain_mode(s::GainMode::kManual);
+    dev->set_gain_db(20.0);
+    return dev;
+  };
+  auto a = make_dev(44);
+  ASSERT_TRUE(a->tune(521e6, 8e6));
+  const auto via_capture = a->capture(10000);
+
+  auto b = make_dev(44);
+  ASSERT_TRUE(b->tune(521e6, 8e6));
+  d::Buffer via_into(10000);
+  b->capture_into(via_into);
+
+  ASSERT_EQ(via_capture.size(), via_into.size());
+  for (std::size_t i = 0; i < via_into.size(); ++i)
+    EXPECT_EQ(via_capture[i], via_into[i]) << "sample " << i;
+}
+
 TEST(SimulatedSdr, LoErrorShiftsReceivedTone) {
   // A tone source pinned at an absolute RF frequency appears offset in the
   // capture when the reference is off.
