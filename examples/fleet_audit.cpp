@@ -10,10 +10,14 @@
 // view — trust ranking, verified capabilities, who can serve a concrete
 // monitoring request — plus the fleet-wide stage-timing percentiles from
 // the pipeline's instrumentation layer.
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "calib/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/testbed.hpp"
 #include "util/table.hpp"
 
@@ -71,8 +75,31 @@ std::vector<FleetEntry> generate_fleet(std::size_t count) {
 int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 13;
   constexpr std::size_t kFleetSize = 20;
-  const unsigned threads =
-      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
+
+  // fleet_audit [threads] [--threads=N] [--metrics-out=PATH] [--trace-out=PATH]
+  unsigned threads = 0;
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0)
+      threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    else if (arg.rfind("--metrics-out=", 0) == 0)
+      metrics_out = arg.substr(14);
+    else if (arg.rfind("--trace-out=", 0) == 0)
+      trace_out = arg.substr(12);
+    else if (arg.rfind("--", 0) != 0)
+      threads = static_cast<unsigned>(std::atoi(arg.c_str()));
+    else {
+      std::cerr << "fleet_audit: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // One trace session per audit run: every node becomes a nested span tree
+  // (node -> stages) on its worker's track in chrome://tracing / Perfetto.
+  std::optional<speccal::obs::TraceSession> trace;
+  if (!trace_out.empty()) trace.emplace();
 
   const auto world = scenario::make_world(kSeed);
   const auto fleet = generate_fleet(kFleetSize);
@@ -82,6 +109,7 @@ int main(int argc, char** argv) {
 
   calib::FleetConfig fleet_cfg;
   fleet_cfg.threads = threads;
+  fleet_cfg.trace = trace ? &*trace : nullptr;
   fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
     std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
               << (p.ok ? "" : "  (ABORTED)") << "\n";
@@ -164,5 +192,26 @@ int main(int argc, char** argv) {
       if (f.severity == calib::Severity::kViolation)
         std::cout << "    - " << f.description << "\n";
   });
+
+  if (trace) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "fleet_audit: cannot write " << trace_out << "\n";
+      return 1;
+    }
+    trace->write_chrome_trace(os);
+    std::cout << "\nWrote " << trace->event_count() << " trace events to "
+              << trace_out << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::cerr << "fleet_audit: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    obs::Registry::global().write_json(os);
+    std::cout << "Wrote " << obs::Registry::global().size() << " metrics to "
+              << metrics_out << "\n";
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "adsb/altitude.hpp"
+#include "obs/metrics.hpp"
 
 namespace speccal::adsb {
 
@@ -12,6 +13,10 @@ Decoder::Decoder(DecoderConfig config)
 
 std::vector<Frame> Decoder::feed(std::span<const dsp::Sample> samples,
                                  double start_time_s) {
+  static obs::Counter& decoded_metric =
+      obs::Registry::global().counter("speccal_adsb_frames_decoded_total");
+  static obs::Counter& repaired_metric =
+      obs::Registry::global().counter("speccal_adsb_frames_crc_repaired_total");
   // Prepend the overlap tail so frames straddling block boundaries decode.
   dsp::Buffer work;
   double work_time = start_time_s;
@@ -33,6 +38,7 @@ std::vector<Frame> Decoder::feed(std::span<const dsp::Sample> samples,
       const auto all_call = parse_all_call(det.short_frame());
       if (!all_call) continue;
       ++total_frames_;
+      decoded_metric.add();
       Frame frame;
       frame.icao = all_call->icao;
       frame.capability = all_call->capability;
@@ -43,7 +49,11 @@ std::vector<Frame> Decoder::feed(std::span<const dsp::Sample> samples,
     auto frame = parse_frame(det.frame);
     if (!frame) continue;
     ++total_frames_;
-    if (det.repaired_bits > 0) ++repaired_frames_;
+    decoded_metric.add();
+    if (det.repaired_bits > 0) {
+      ++repaired_frames_;
+      repaired_metric.add();
+    }
     ingest(*frame, det, t);
     decoded.push_back(std::move(*frame));
   }

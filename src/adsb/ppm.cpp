@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "adsb/crc.hpp"
+#include "obs/metrics.hpp"
 
 namespace speccal::adsb {
 
@@ -135,14 +136,29 @@ std::vector<Detection> PpmDemodulator::process(std::span<const dsp::Sample> samp
     }
     slice(bits);
 
+    // Candidates that pass the preamble + DF gates count as decode
+    // attempts; the ones the CRC (and its repair) rejects are the fleet's
+    // link-quality signal. Relaxed atomic adds, rare relative to samples.
+    static obs::Counter& attempted = obs::Registry::global().counter(
+        "speccal_adsb_frames_attempted_total");
+    static obs::Counter& crc_failed = obs::Registry::global().counter(
+        "speccal_adsb_frames_crc_failed_total");
+    attempted.add();
+
     int repaired = 0;
     const std::span<std::uint8_t> frame_bytes(frame.data(), bits / 8);
     if (!check_crc(frame_bytes)) {
       // Syndrome repair is only attempted on long frames (short-frame
       // syndromes are too ambiguous to repair safely; dump1090 agrees).
-      if (bits != kLongFrameBits || config_.max_crc_repair_bits <= 0) continue;
+      if (bits != kLongFrameBits || config_.max_crc_repair_bits <= 0) {
+        crc_failed.add();
+        continue;
+      }
       auto fixed = repair_frame(frame, config_.max_crc_repair_bits);
-      if (!fixed) continue;
+      if (!fixed) {
+        crc_failed.add();
+        continue;
+      }
       repaired = static_cast<int>(fixed->size());
     }
 

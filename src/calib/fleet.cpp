@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace speccal::calib {
 
 FleetCalibrator::FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config)
@@ -26,6 +29,12 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
   summary.total = jobs.size();
   if (jobs.empty()) return summary;
 
+  obs::Registry::global().counter("speccal_fleet_batches_total").add();
+  obs::Span run_span(config_.trace, "fleet_run", "fleet");
+  run_span.arg("jobs", static_cast<std::int64_t>(jobs.size()));
+  run_span.arg("threads",
+               static_cast<std::int64_t>(effective_threads(jobs.size())));
+
   const auto t0 = clock::now();
   std::atomic<std::size_t> next{0};
 
@@ -44,19 +53,29 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
 
       CalibrationReport report;
       std::string error;
-      try {
-        if (!job.make_device)
-          throw std::invalid_argument("fleet job carries no device factory");
-        const std::unique_ptr<sdr::Device> device = job.make_device();
-        if (device == nullptr)
-          throw std::runtime_error("device factory returned null");
-        pipeline_.calibrate_into(*device, job.claims, report);
-      } catch (const std::exception& e) {
-        error = e.what();
-      } catch (...) {
-        error = "unknown exception during calibration";
+      {
+        // Node span on this worker's track; the stage spans emitted by the
+        // pipeline nest inside it by time containment. Ends (and records)
+        // even when the device throws.
+        obs::Span node_span(config_.trace, job.claims.node_id, "node");
+        try {
+          if (!job.make_device)
+            throw std::invalid_argument("fleet job carries no device factory");
+          const std::unique_ptr<sdr::Device> device = job.make_device();
+          if (device == nullptr)
+            throw std::runtime_error("device factory returned null");
+          pipeline_.calibrate_into(*device, job.claims, report, config_.trace);
+        } catch (const std::exception& e) {
+          error = e.what();
+        } catch (...) {
+          error = "unknown exception during calibration";
+        }
+        node_span.arg("ok", error.empty());
+        if (!error.empty()) node_span.arg("error", error);
       }
+      obs::Registry::global().counter("speccal_fleet_nodes_total").add();
       if (!error.empty()) {
+        obs::Registry::global().counter("speccal_fleet_aborts_total").add();
         // Failure isolation: the node still gets a (flagged, zero-trust)
         // report; the batch carries on.
         report.claims = job.claims;

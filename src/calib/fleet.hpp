@@ -25,6 +25,10 @@
 #include "calib/metrics.hpp"
 #include "calib/pipeline.hpp"
 
+namespace speccal::obs {
+class TraceSession;
+}
+
 namespace speccal::calib {
 
 /// One unit of fleet work. `make_device` must be self-contained: it runs on
@@ -49,6 +53,12 @@ struct FleetConfig {
   /// every job inline on the calling thread without spawning.
   unsigned threads = 0;
   std::function<void(const FleetProgress&)> on_progress;
+  /// Optional trace collector (caller-owned, must outlive run()). When set,
+  /// each run() records a root "fleet_run" span, one span per node (named
+  /// by its node id, on the worker thread's track) and one nested span per
+  /// pipeline stage — the Chrome-trace export drops into Perfetto. Null
+  /// disables tracing at zero cost.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct FleetFailure {

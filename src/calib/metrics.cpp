@@ -1,18 +1,30 @@
 #include "calib/metrics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace speccal::calib {
 
 namespace {
 
-double now_ms() noexcept {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(clock::now().time_since_epoch())
-      .count();
+/// One histogram per pipeline stage in the global registry
+/// (speccal_calib_stage_<stage>_ms — naming convention DESIGN.md §10).
+obs::Histogram& stage_histogram(Stage stage) {
+  static std::array<obs::Histogram*, kStageCount>* hists = [] {
+    auto* out = new std::array<obs::Histogram*, kStageCount>();
+    for (std::size_t i = 0; i < kStageCount; ++i)
+      (*out)[i] = &obs::Registry::global().histogram(
+          std::string("speccal_calib_stage_") +
+              to_string(static_cast<Stage>(i)) + "_ms",
+          obs::default_duration_bounds_ms());
+    return out;
+  }();
+  return *(*hists)[static_cast<std::size_t>(stage)];
 }
 
 /// Nearest-rank percentile over a sorted sample set.
@@ -72,17 +84,42 @@ void StageMetrics::write_json(util::JsonWriter& w) const {
   w.end_object();
 }
 
-StageTimer::StageTimer(StageMetrics& metrics, Stage stage) noexcept
-    : metrics_(metrics), stage_(stage), start_ms_(now_ms()) {}
+StageTimer::StageTimer(StageMetrics& metrics, Stage stage,
+                       obs::TraceSession* trace, std::string_view node_id)
+    : metrics_(metrics),
+      stage_(stage),
+      trace_(trace),
+      node_id_(trace != nullptr ? node_id : std::string_view{}),
+      start_(std::chrono::steady_clock::now()) {}
 
-StageTimer::~StageTimer() { stop(); }
+StageTimer::~StageTimer() {
+  // Record on unwind too; stop() swallows nothing today, but a destructor
+  // that could propagate during stack unwinding would terminate.
+  stop();
+}
 
 void StageTimer::stop() noexcept {
   if (stopped_) return;
   stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
   StageSample& s = metrics_.at(stage_);
-  s.wall_ms += now_ms() - start_ms_;
+  s.wall_ms += wall_ms;
   s.ran = true;
+  stage_histogram(stage_).observe(wall_ms);
+  if (trace_ != nullptr) {
+    // Same clock readings as the sample above: the trace span, the
+    // histogram observation and the report wall time can never disagree.
+    try {
+      std::vector<obs::SpanArg> args;
+      if (!node_id_.empty()) args.push_back(obs::SpanArg::str("node", node_id_));
+      trace_->record_complete(to_string(stage_), "stage", start_, end,
+                              std::move(args));
+    } catch (...) {
+      // Tracing must never take down a calibration (allocation failure).
+    }
+  }
 }
 
 FleetStageStats aggregate_stage_metrics(

@@ -9,12 +9,17 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace speccal::util {
 class JsonWriter;
+}
+namespace speccal::obs {
+class TraceSession;
 }
 
 namespace speccal::calib {
@@ -60,22 +65,38 @@ struct StageMetrics {
 };
 
 /// RAII stopwatch: records wall time into a stage sample on destruction
-/// (or at an explicit stop()).
+/// (or at an explicit stop()). The single source of truth for stage timing:
+/// one steady_clock read pair feeds the StageSample, the per-stage
+/// histogram in obs::Registry::global() (speccal_calib_stage_<stage>_ms),
+/// and — when a trace session is attached — the stage's Chrome-trace span,
+/// so StageMetrics is a per-run view over the same observations the
+/// observability layer exports.
+///
+/// Exception-safe: the destructor records on unwind too (a device that
+/// throws mid-stage still leaves its partial wall time in the report), and
+/// all timing uses std::chrono::steady_clock — wall-clock time never enters
+/// a duration.
 class StageTimer {
  public:
-  StageTimer(StageMetrics& metrics, Stage stage) noexcept;
+  /// `trace` may be null (no span). `node_id` tags the span's args; it is
+  /// only copied when a session is attached.
+  StageTimer(StageMetrics& metrics, Stage stage,
+             obs::TraceSession* trace = nullptr,
+             std::string_view node_id = {});
   ~StageTimer();
 
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
 
-  /// Stop early and record; the destructor then does nothing.
+  /// Stop early and record; idempotent, the destructor then does nothing.
   void stop() noexcept;
 
  private:
   StageMetrics& metrics_;
   Stage stage_;
-  double start_ms_ = 0.0;
+  obs::TraceSession* trace_;
+  std::string node_id_;
+  std::chrono::steady_clock::time_point start_;
   bool stopped_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "adsb/ppm.hpp"
+#include "obs/metrics.hpp"
 #include "prop/pathloss.hpp"
 #include "sdr/rx_environment.hpp"
 #include "util/json.hpp"
@@ -23,17 +24,20 @@ CalibrationPipeline::CalibrationPipeline(WorldModel world, PipelineConfig config
     : world_(std::move(world)), config_(config) {}
 
 CalibrationReport CalibrationPipeline::calibrate(sdr::Device& device,
-                                                 const NodeClaims& claims) const {
+                                                 const NodeClaims& claims,
+                                                 obs::TraceSession* trace) const {
   CalibrationReport report;
-  calibrate_into(device, claims, report);
+  calibrate_into(device, claims, report, trace);
   return report;
 }
 
 void CalibrationPipeline::calibrate_into(sdr::Device& device,
                                          const NodeClaims& claims,
-                                         CalibrationReport& report) const {
+                                         CalibrationReport& report,
+                                         obs::TraceSession* trace) const {
   report = CalibrationReport{};
   report.claims = claims;
+  obs::Registry::global().counter("speccal_calib_runs_total").add();
 
   // Receiver surroundings: simulation-backed devices expose their ground
   // truth through the SimControl capability; real hardware contributes its
@@ -49,7 +53,7 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
 
   // --- 1. ADS-B directional survey --------------------------------------
   if (world_.sky) {
-    StageTimer timer(report.metrics, Stage::kSurvey);
+    StageTimer timer(report.metrics, Stage::kSurvey, trace, claims.node_id);
     airtraffic::GroundTruthService gt(*world_.sky, world_.ground_truth_latency_s);
     AdsbSurvey survey(config_.survey);
     report.survey = survey.run(device, *world_.sky, gt);
@@ -60,13 +64,13 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
           config_.survey.duration_s * adsb::kPpmSampleRateHz);
   }
   {
-    StageTimer timer(report.metrics, Stage::kFov);
+    StageTimer timer(report.metrics, Stage::kFov, trace, claims.node_id);
     report.fov = config_.use_knn_fov ? estimate_fov_knn(report.survey, config_.fov)
                                      : estimate_fov_sectors(report.survey, config_.fov);
   }
 
   // --- 2. Cellular scan ---------------------------------------------------
-  StageTimer cell_timer(report.metrics, Stage::kCellScan);
+  StageTimer cell_timer(report.metrics, Stage::kCellScan, trace, claims.node_id);
   cellular::CellScanner scanner(config_.cell_scan);
   const auto nearby = world_.cells.near(rx.position, config_.cell_search_radius_m);
   report.cell_scan =
@@ -90,7 +94,7 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
   cell_timer.stop();
 
   // --- 3. Broadcast TV sweep ----------------------------------------------
-  StageTimer tv_timer(report.metrics, Stage::kTvSweep);
+  StageTimer tv_timer(report.metrics, Stage::kTvSweep, trace, claims.node_id);
   tv::PowerMeter meter(config_.tv_meter);
   const double tv_noise_dbm = prop::noise_floor_dbm(
       config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
@@ -120,7 +124,7 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
 
   // --- 4. Fuse, classify, verify -------------------------------------------
   {
-    StageTimer timer(report.metrics, Stage::kFuse);
+    StageTimer timer(report.metrics, Stage::kFuse, trace, claims.node_id);
     report.frequency_response =
         evaluate_frequency_response(std::move(measurements), config_.freqresp);
     report.classification = classify_installation(report.fov, report.frequency_response,
@@ -134,7 +138,7 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
                                         config_.hardware);
   }
   if (config_.run_lo_calibration) {
-    StageTimer timer(report.metrics, Stage::kLoCal);
+    StageTimer timer(report.metrics, Stage::kLoCal, trace, claims.node_id);
     // Only pilot-hunt on channels the sweep showed as receivable.
     std::vector<int> receivable;
     for (const auto& reading : report.tv_readings)

@@ -25,6 +25,10 @@
 #include "sdr/emitter.hpp"
 #include "tv/power_meter.hpp"
 
+namespace speccal::obs {
+class TraceSession;
+}
+
 namespace speccal::calib {
 
 /// Everything that exists around the sensors (shared across nodes).
@@ -89,13 +93,18 @@ class CalibrationPipeline {
   /// Run the full evaluation through the device-agnostic interface. The
   /// device must already carry the world's signal sources (simulation:
   /// ADS-B sky + TV emitters) or receive them off the air (hardware).
-  [[nodiscard]] CalibrationReport calibrate(sdr::Device& device,
-                                            const NodeClaims& claims) const;
+  /// When `trace` is non-null, every stage emits one Chrome-trace span
+  /// (tagged with the node id) into the session; the report's StageMetrics
+  /// are a view over the same clock readings.
+  [[nodiscard]] CalibrationReport calibrate(
+      sdr::Device& device, const NodeClaims& claims,
+      obs::TraceSession* trace = nullptr) const;
 
   /// Same evaluation, writing into caller-owned storage (the fleet engine
   /// reuses per-worker report slots). `report` is reset first.
   void calibrate_into(sdr::Device& device, const NodeClaims& claims,
-                      CalibrationReport& report) const;
+                      CalibrationReport& report,
+                      obs::TraceSession* trace = nullptr) const;
 
   [[nodiscard]] const WorldModel& world() const noexcept { return world_; }
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }

@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace speccal::dsp {
 
 // ------------------------------------------------------------------ plan ----
@@ -103,6 +105,19 @@ struct PlanCache::Impl {
   std::unordered_map<std::size_t, std::shared_ptr<const FftPlanD>> f64;
   std::size_t hits = 0;
   std::size_t misses = 0;
+  // Registry-backed twins of the counters above (DESIGN.md §10). The local
+  // fields feed the deprecated stats() snapshot; these feed the fleet-wide
+  // exposition endpoints.
+  obs::Counter& hits_metric =
+      obs::Registry::global().counter("speccal_dsp_plan_cache_hits_total");
+  obs::Counter& misses_metric =
+      obs::Registry::global().counter("speccal_dsp_plan_cache_misses_total");
+  obs::Gauge& entries_metric =
+      obs::Registry::global().gauge("speccal_dsp_plan_cache_entries");
+
+  void publish_locked() noexcept {
+    entries_metric.set(static_cast<double>(f32.size() + f64.size()));
+  }
 };
 
 PlanCache::PlanCache() : impl_(std::make_unique<Impl>()) {}
@@ -115,10 +130,13 @@ PlanCache& PlanCache::shared() {
 namespace {
 template <typename Plan, typename Map>
 std::shared_ptr<const Plan> get_or_build(Map& map, std::size_t n,
-                                         std::size_t& hits, std::size_t& misses) {
+                                         std::size_t& hits, std::size_t& misses,
+                                         obs::Counter& hits_metric,
+                                         obs::Counter& misses_metric) {
   auto it = map.find(n);
   if (it != map.end()) {
     ++hits;
+    hits_metric.add();
     return it->second;
   }
   // Built under the lock: plans are shared by construction, and the build
@@ -126,18 +144,25 @@ std::shared_ptr<const Plan> get_or_build(Map& map, std::size_t n,
   auto plan = std::make_shared<const Plan>(n);
   map.emplace(n, plan);
   ++misses;
+  misses_metric.add();
   return plan;
 }
 }  // namespace
 
 std::shared_ptr<const FftPlan> PlanCache::plan_f32(std::size_t n) {
   std::lock_guard lock(impl_->mutex);
-  return get_or_build<FftPlan>(impl_->f32, n, impl_->hits, impl_->misses);
+  auto plan = get_or_build<FftPlan>(impl_->f32, n, impl_->hits, impl_->misses,
+                                    impl_->hits_metric, impl_->misses_metric);
+  impl_->publish_locked();
+  return plan;
 }
 
 std::shared_ptr<const FftPlanD> PlanCache::plan_f64(std::size_t n) {
   std::lock_guard lock(impl_->mutex);
-  return get_or_build<FftPlanD>(impl_->f64, n, impl_->hits, impl_->misses);
+  auto plan = get_or_build<FftPlanD>(impl_->f64, n, impl_->hits, impl_->misses,
+                                     impl_->hits_metric, impl_->misses_metric);
+  impl_->publish_locked();
+  return plan;
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -151,6 +176,9 @@ void PlanCache::clear() {
   impl_->f64.clear();
   impl_->hits = 0;
   impl_->misses = 0;
+  // Registry counters are monotonic by contract and deliberately survive a
+  // clear(); only the entries gauge tracks the emptied cache.
+  impl_->publish_locked();
 }
 
 // ----------------------------------------------------------------- arena ----
@@ -158,6 +186,13 @@ void PlanCache::clear() {
 namespace {
 template <typename Vec>
 auto pool_span(Vec& pool, std::size_t n) {
+  if (pool.capacity() < n) {
+    // Grow events are the signal that a "zero steady-state allocation" loop
+    // is not actually steady; fleet dashboards watch this stay flat.
+    static obs::Counter& grows =
+        obs::Registry::global().counter("speccal_dsp_scratch_grow_events_total");
+    grows.add();
+  }
   if (pool.size() < n) pool.resize(n);
   return std::span(pool.data(), n);
 }

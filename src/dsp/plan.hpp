@@ -94,6 +94,17 @@ class PlanCache {
     std::size_t misses = 0;
     std::size_t plans = 0;  // currently cached (both precisions)
   };
+  /// One atomically-consistent snapshot: all three fields are read under
+  /// the same lock that every plan_* call takes, so hits + misses always
+  /// equals the number of lookups and `plans` can never lag a concurrent
+  /// build.
+  ///
+  /// Deprecated (DESIGN.md §10 deprecation policy): the cache also
+  /// publishes speccal_dsp_plan_cache_{hits,misses}_total and
+  /// speccal_dsp_plan_cache_entries into obs::Registry::global(); new code
+  /// should read those — they aggregate across every consumer and export
+  /// through the standard exposition endpoints. This accessor remains for
+  /// in-process tests that need the locked snapshot.
   [[nodiscard]] Stats stats() const;
 
   /// Drop cached plans (outstanding shared_ptrs stay valid) and reset stats.

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace speccal::obs {
+
+// ------------------------------------------------------------- histogram ----
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: bucket bounds must be non-empty");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!metrics_enabled()) return;
+  // First bound >= v (le semantics); everything above lands in +Inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::span<const double> default_duration_bounds_ms() noexcept {
+  static constexpr std::array<double, 13> kBounds = {
+      1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+      5000.0, 10000.0};
+  return kBounds;
+}
+
+// -------------------------------------------------------------- registry ----
+
+namespace {
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* kind_name(int kind) noexcept {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented layers cache handles in function-local
+  // statics, and those must outlive every other static destructor.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name, Kind kind,
+                                     std::span<const double> bounds) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("Registry: invalid metric name \"" +
+                                std::string(name) +
+                                "\" (allowed: [a-zA-Z0-9_:])");
+  const std::scoped_lock lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument(
+          "Registry: metric \"" + std::string(name) + "\" already registered as " +
+          kind_name(static_cast<int>(it->second.kind)) + ", requested as " +
+          kind_name(static_cast<int>(kind)));
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry.counter.reset(new Counter()); break;
+    case Kind::kGauge: entry.gauge.reset(new Gauge()); break;
+    case Kind::kHistogram: entry.histogram.reset(new Histogram(bounds)); break;
+  }
+  return metrics_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *entry_for(name, Kind::kCounter, {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *entry_for(name, Kind::kGauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  return *entry_for(name, Kind::kHistogram, bounds).histogram;
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return metrics_.size();
+}
+
+void Registry::write_json(util::JsonWriter& w) const {
+  const std::scoped_lock lock(mutex_);
+  w.begin_object();
+  w.key("metrics");
+  w.begin_array();
+  for (const auto& [name, entry] : metrics_) {
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.key("type");
+    w.value(kind_name(static_cast<int>(entry.kind)));
+    switch (entry.kind) {
+      case Kind::kCounter:
+        w.key("value");
+        w.value(static_cast<std::int64_t>(entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        w.key("value");
+        w.value(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        w.key("count");
+        w.value(static_cast<std::int64_t>(h.count()));
+        w.key("sum");
+        w.value(h.sum());
+        w.key("buckets");
+        w.begin_array();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          w.begin_object();
+          w.key("le");
+          if (i < h.bounds().size()) w.value(h.bounds()[i]);
+          else w.value("+Inf");
+          w.key("count");
+          w.value(static_cast<std::int64_t>(cumulative));
+          w.end_object();
+        }
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  util::JsonWriter w(os);
+  write_json(w);
+  os << "\n";
+}
+
+void Registry::write_text(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, entry] : metrics_) {
+    os << "# TYPE " << name << ' ' << kind_name(static_cast<int>(entry.kind))
+       << "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << name << ' ' << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << name << ' ' << entry.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          os << name << "_bucket{le=\"";
+          if (i < h.bounds().size()) os << h.bounds()[i];
+          else os << "+Inf";
+          os << "\"} " << cumulative << "\n";
+        }
+        os << name << "_sum " << h.sum() << "\n";
+        os << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace speccal::obs

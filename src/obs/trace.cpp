@@ -1,0 +1,236 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace speccal::obs {
+
+// --------------------------------------------------------------- SpanArg ----
+
+SpanArg SpanArg::str(std::string_view key, std::string_view value) {
+  SpanArg a;
+  a.key = std::string(key);
+  a.kind = Kind::kString;
+  a.string_value = std::string(value);
+  return a;
+}
+
+SpanArg SpanArg::integer(std::string_view key, std::int64_t value) {
+  SpanArg a;
+  a.key = std::string(key);
+  a.kind = Kind::kInt;
+  a.int_value = value;
+  return a;
+}
+
+SpanArg SpanArg::number(std::string_view key, double value) {
+  SpanArg a;
+  a.key = std::string(key);
+  a.kind = Kind::kDouble;
+  a.double_value = value;
+  return a;
+}
+
+SpanArg SpanArg::boolean(std::string_view key, bool value) {
+  SpanArg a;
+  a.key = std::string(key);
+  a.kind = Kind::kBool;
+  a.bool_value = value;
+  return a;
+}
+
+namespace {
+
+void write_arg_value(util::JsonWriter& w, const SpanArg& arg) {
+  switch (arg.kind) {
+    case SpanArg::Kind::kString: w.value(arg.string_value); break;
+    case SpanArg::Kind::kInt: w.value(arg.int_value); break;
+    case SpanArg::Kind::kDouble: w.value(arg.double_value); break;
+    case SpanArg::Kind::kBool: w.value(arg.bool_value); break;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- TraceSession ----
+
+TraceSession::TraceSession() : t0_(clock::now()) {}
+
+int TraceSession::tid_for_locked(std::thread::id id) {
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    if (threads_[i] == id) return static_cast<int>(i);
+  threads_.push_back(id);
+  return static_cast<int>(threads_.size() - 1);
+}
+
+void TraceSession::record_complete(std::string_view name,
+                                   std::string_view category,
+                                   clock::time_point start,
+                                   clock::time_point end,
+                                   std::vector<SpanArg> args) {
+  if (start < t0_) start = t0_;
+  if (end < start) end = start;
+  Event ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.ts_us = std::chrono::duration<double, std::micro>(start - t0_).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  ev.args = std::move(args);
+  const std::scoped_lock lock(mutex_);
+  ev.tid = tid_for_locked(std::this_thread::get_id());
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceSession::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  // Snapshot under the lock, serialize outside event insertion order: the
+  // viewer expects stable sort by timestamp for "X" events on one track.
+  std::vector<Event> events;
+  std::size_t thread_count = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    events = events_;
+    thread_count = threads_.size();
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Track labels first: one process, one named track per recording thread.
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(1);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("speccal");
+  w.end_object();
+  w.end_object();
+  for (std::size_t tid = 0; tid < thread_count; ++tid) {
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(static_cast<std::int64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(tid == 0 ? std::string("main") : "worker-" + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const Event& ev : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(ev.name);
+    w.key("cat");
+    w.value(ev.category);
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(ev.ts_us);
+    w.key("dur");
+    w.value(ev.dur_us);
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(ev.tid);
+    if (!ev.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const SpanArg& arg : ev.args) {
+        w.key(arg.key);
+        write_arg_value(w, arg);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  os << "\n";
+}
+
+// ------------------------------------------------------------------ Span ----
+
+Span::Span(TraceSession* session, std::string name, std::string category)
+    : session_(session) {
+  if (session_ == nullptr) return;  // disabled: no clock read, no strings
+  name_ = std::move(name);
+  category_ = std::move(category);
+  start_ = TraceSession::clock::now();
+}
+
+Span::Span(Span&& other) noexcept
+    : session_(other.session_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      args_(std::move(other.args_)),
+      start_(other.start_) {
+  other.session_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    session_ = other.session_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    args_ = std::move(other.args_);
+    start_ = other.start_;
+    other.session_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (session_) args_.push_back(SpanArg::str(key, value));
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (session_) args_.push_back(SpanArg::integer(key, value));
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (session_) args_.push_back(SpanArg::number(key, value));
+}
+
+void Span::arg(std::string_view key, bool value) {
+  if (session_) args_.push_back(SpanArg::boolean(key, value));
+}
+
+void Span::end() noexcept {
+  if (session_ == nullptr) return;
+  TraceSession* session = session_;
+  session_ = nullptr;  // idempotent even if record throws
+  try {
+    session->record_complete(name_, category_, start_,
+                             TraceSession::clock::now(), std::move(args_));
+  } catch (...) {
+    // Dropping a span beats terminating an unwinding stack (bad_alloc is
+    // the only realistic throw here).
+  }
+}
+
+}  // namespace speccal::obs

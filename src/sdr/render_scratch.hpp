@@ -18,6 +18,7 @@
 #include <span>
 
 #include "dsp/iq.hpp"
+#include "obs/metrics.hpp"
 
 namespace speccal::sdr {
 
@@ -42,7 +43,14 @@ class RenderScratch {
  private:
   [[nodiscard]] std::span<dsp::Sample> grab(dsp::Buffer& pool, std::size_t n) {
     ++requests_;
-    if (pool.capacity() < n) ++grow_events_;
+    if (pool.capacity() < n) {
+      ++grow_events_;
+      // Fleet-wide twin of the per-instance counter: steady-state captures
+      // keep this flat, so movement means a pool is being re-grown.
+      static obs::Counter& grows = obs::Registry::global().counter(
+          "speccal_sdr_render_grow_events_total");
+      grows.add();
+    }
     if (pool.size() < n) pool.resize(n);
     return {pool.data(), n};
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "prop/pathloss.hpp"
 #include "util/units.hpp"
 
@@ -48,6 +49,14 @@ dsp::Buffer SimulatedSdr::capture(std::size_t count) {
 
 void SimulatedSdr::capture_into(std::span<dsp::Sample> out) {
   const std::size_t count = out.size();
+  // Two relaxed atomic adds per capture block — the whole per-capture cost
+  // of the observability layer on this path (bench/obs_overhead pins it).
+  static obs::Counter& captures =
+      obs::Registry::global().counter("speccal_sdr_captures_total");
+  static obs::Counter& samples =
+      obs::Registry::global().counter("speccal_sdr_samples_total");
+  captures.add();
+  samples.add(count);
   std::fill(out.begin(), out.end(), dsp::Sample{0.0f, 0.0f});
   if (tuned_ok_) {
     CaptureContext ctx;

@@ -2,14 +2,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "json_reader.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace u = speccal::util;
+namespace tj = speccal::testjson;
 
 // ---------------------------------------------------------------- units ----
 
@@ -253,6 +256,64 @@ TEST(Json, NanBecomesNull) {
   u::JsonWriter w(os);
   w.value(std::nan(""));
   EXPECT_EQ(os.str(), "null");
+}
+
+TEST(Json, EscapingRoundTripsThroughAParser) {
+  // Every byte a span name or node id could carry must survive
+  // write -> parse unchanged (the Chrome trace and metrics exports depend
+  // on this; tests/json_reader.hpp is the independent reader).
+  std::string nasty = "quote\" backslash\\ slash/ tab\t nl\n cr\r bs\b ff\f";
+  for (char c = 1; c < 0x20; ++c) nasty.push_back(c);  // every control byte
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.begin_object();
+  w.key(nasty);
+  w.value(nasty);
+  w.end_object();
+  const tj::Value doc = tj::parse(os.str());
+  ASSERT_TRUE(doc.has(nasty));
+  EXPECT_EQ(doc.at(nasty).str(), nasty);
+}
+
+TEST(Json, Utf8PassesThroughUnmangled) {
+  // Multi-byte UTF-8 must not be escaped byte-by-byte: emit raw, re-read
+  // identical. (Node ids are operator-chosen strings.)
+  const std::string utf8 = "n\xC3\xB8de-\xE2\x82\xAC-\xF0\x9F\x93\xA1";
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.value(utf8);
+  EXPECT_NE(os.str().find(utf8), std::string::npos);
+  EXPECT_EQ(tj::parse(os.str()).str(), utf8);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  // JSON has no Inf/NaN literal; emitting them raw would poison every
+  // downstream parser, so the writer substitutes null.
+  for (double v : {std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::quiet_NaN()}) {
+    std::ostringstream os;
+    u::JsonWriter w(os);
+    w.value(v);
+    EXPECT_EQ(os.str(), "null");
+    EXPECT_TRUE(tj::parse(os.str()).is_null());
+  }
+}
+
+TEST(Json, NumbersRoundTrip) {
+  std::ostringstream os;
+  u::JsonWriter w(os);
+  w.begin_array();
+  w.value(-12.5);
+  w.value(1e-9);
+  w.value(std::int64_t{-9007199254740993});  // beyond double's exact range
+  w.value(0);
+  w.end_array();
+  const tj::Value doc = tj::parse(os.str());
+  ASSERT_EQ(doc.array().size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.array()[0].number(), -12.5);
+  EXPECT_DOUBLE_EQ(doc.array()[1].number(), 1e-9);
+  EXPECT_DOUBLE_EQ(doc.array()[3].number(), 0.0);
 }
 
 TEST(Json, RejectsProtocolErrors) {
