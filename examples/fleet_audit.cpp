@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "scenario/testbed.hpp"
+#include "sdr/fault.hpp"
 #include "util/table.hpp"
 
 using namespace speccal;
@@ -77,9 +78,15 @@ int main(int argc, char** argv) {
   constexpr std::size_t kFleetSize = 20;
 
   // fleet_audit [threads] [--threads=N] [--metrics-out=PATH] [--trace-out=PATH]
+  //             [--fault-profile=<name|json>]
+  // Fault profiles script a reproducible chaos run: built-ins "none",
+  // "flaky20", "chaos", or an inline JSON document (sdr/fault.hpp). With a
+  // profile active the retry/quarantine policy is enabled and the run
+  // self-checks its quarantine count against the profile's expectation.
   unsigned threads = 0;
   std::string metrics_out;
   std::string trace_out;
+  sdr::FaultProfile fault_profile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0)
@@ -88,13 +95,21 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(14);
     else if (arg.rfind("--trace-out=", 0) == 0)
       trace_out = arg.substr(12);
-    else if (arg.rfind("--", 0) != 0)
+    else if (arg.rfind("--fault-profile=", 0) == 0) {
+      try {
+        fault_profile = sdr::make_fault_profile(arg.substr(16));
+      } catch (const std::exception& e) {
+        std::cerr << "fleet_audit: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) != 0)
       threads = static_cast<unsigned>(std::atoi(arg.c_str()));
     else {
       std::cerr << "fleet_audit: unknown flag " << arg << "\n";
       return 2;
     }
   }
+  const bool chaos = !fault_profile.empty();
 
   // One trace session per audit run: every node becomes a nested span tree
   // (node -> stages) on its worker's track in chrome://tracing / Perfetto.
@@ -106,13 +121,24 @@ int main(int argc, char** argv) {
 
   calib::PipelineConfig cfg;
   cfg.survey.fidelity = calib::Fidelity::kLinkBudget;  // fleet-scale sweep
+  if (chaos) {
+    cfg.retry.max_attempts = fault_profile.retry_max_attempts;
+    cfg.retry.initial_backoff_s = fault_profile.initial_backoff_s;
+    cfg.retry.stage_deadline_s = fault_profile.stage_deadline_s;
+    cfg.retry.quarantine = true;
+    std::cout << "Fault profile '" << fault_profile.name << "': "
+              << fault_profile.nodes.size() << " scripted node(s), retry x"
+              << cfg.retry.max_attempts << ", expected quarantines "
+              << fault_profile.expected_quarantined_nodes << "\n";
+  }
 
   calib::FleetConfig fleet_cfg;
   fleet_cfg.threads = threads;
   fleet_cfg.trace = trace ? &*trace : nullptr;
   fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
     std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
-              << (p.ok ? "" : "  (ABORTED)") << "\n";
+              << (p.ok ? "" : "  (ABORTED)")
+              << (p.quarantined ? "  (QUARANTINED)" : "") << "\n";
   };
   calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
                                     fleet_cfg);
@@ -121,7 +147,8 @@ int main(int argc, char** argv) {
             << calibrator.effective_threads(fleet.size()) << " thread(s)...\n";
 
   std::vector<calib::FleetJob> jobs;
-  for (const auto& entry : fleet) {
+  for (std::size_t index = 0; index < fleet.size(); ++index) {
+    const auto& entry = fleet[index];
     calib::FleetJob job;
     job.claims.node_id = entry.id;
     job.claims.min_freq_hz = 100e6;
@@ -129,9 +156,12 @@ int main(int argc, char** argv) {
     job.claims.claims_outdoor = entry.claims_outdoor;
     job.claims.claims_omnidirectional = entry.claims_omni;
     // Each node's device is created on the worker that calibrates it, from
-    // the shared scenario seed only — no shared mutable state.
-    job.make_device = [&world, site = entry.site]() {
-      return scenario::make_owned_node(site, world, kSeed);
+    // the shared scenario seed only — no shared mutable state. The fault
+    // profile wraps scripted nodes in a seeded FaultInjectingDevice; nodes
+    // without faults get the bare device (bitwise-identical reports).
+    job.make_device = [&world, &fault_profile, site = entry.site, index]() {
+      return fault_profile.wrap(scenario::make_owned_node(site, world, kSeed),
+                                index);
     };
     jobs.push_back(std::move(job));
   }
@@ -141,7 +171,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nBatch: " << summary.calibrated << "/" << summary.total
             << " calibrated (" << summary.failed << " aborted, "
-            << summary.skipped << " skipped) in "
+            << summary.quarantined << " quarantined, " << summary.recovered
+            << " recovered, " << summary.skipped << " skipped) in "
             << util::format_fixed(summary.wall_s, 2) << " s — "
             << util::format_fixed(summary.nodes_per_s, 2) << " nodes/s\n";
 
@@ -193,6 +224,19 @@ int main(int argc, char** argv) {
         std::cout << "    - " << f.description << "\n";
   });
 
+  if (chaos) {
+    std::cout << "\nFault records:\n";
+    registry.for_each_report([](const calib::CalibrationReport& report) {
+      for (const auto& fr : report.fault_records)
+        std::cout << "  " << report.claims.node_id << ": stage "
+                  << calib::to_string(fr.stage) << " -> "
+                  << calib::to_string(fr.outcome) << " after " << fr.attempts
+                  << " attempt(s)"
+                  << (fr.last_error.empty() ? "" : " — " + fr.last_error)
+                  << "\n";
+    });
+  }
+
   if (trace) {
     std::ofstream os(trace_out);
     if (!os) {
@@ -212,6 +256,24 @@ int main(int argc, char** argv) {
     obs::Registry::global().write_json(os);
     std::cout << "Wrote " << obs::Registry::global().size() << " metrics to "
               << metrics_out << "\n";
+  }
+
+  // Chaos self-check (after the metrics file is written, so a failing run
+  // still leaves its evidence behind for CI to inspect).
+  if (chaos) {
+    if (summary.failed != 0) {
+      std::cerr << "fleet_audit: chaos run aborted " << summary.failed
+                << " node(s); quarantine should have contained them\n";
+      return 3;
+    }
+    if (summary.quarantined != fault_profile.expected_quarantined_nodes) {
+      std::cerr << "fleet_audit: profile '" << fault_profile.name
+                << "' expected " << fault_profile.expected_quarantined_nodes
+                << " quarantined node(s), got " << summary.quarantined << "\n";
+      return 3;
+    }
+    std::cout << "\nChaos self-check OK: " << summary.quarantined
+              << " quarantined node(s) as scripted\n";
   }
   return 0;
 }

@@ -87,6 +87,14 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
 
       const StageMetrics metrics = report.metrics;
       const bool ok = error.empty();
+      const bool node_quarantined = report.quarantined();
+      bool node_recovered = false;
+      for (const FaultRecord& fr : report.fault_records)
+        if (fr.outcome == FaultOutcome::kRecovered) node_recovered = true;
+      if (node_quarantined)
+        obs::Registry::global()
+            .counter("speccal_fault_quarantined_nodes_total")
+            .add();
       registry.record(std::move(report));
 
       {
@@ -97,12 +105,15 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
           ++summary.failed;
           summary.failures.push_back({job.claims.node_id, error});
         }
+        if (node_quarantined) ++summary.quarantined;
+        if (node_recovered && !node_quarantined) ++summary.recovered;
         if (config_.on_progress) {
           FleetProgress progress;
           progress.completed = completed;
           progress.total = jobs.size();
           progress.node_id = job.claims.node_id;
           progress.ok = ok;
+          progress.quarantined = node_quarantined;
           config_.on_progress(progress);
         }
       }

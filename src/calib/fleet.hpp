@@ -46,6 +46,7 @@ struct FleetProgress {
   std::size_t total = 0;      // jobs in the batch
   std::string node_id;
   bool ok = true;             // false when the node's calibration aborted
+  bool quarantined = false;   // >= 1 stage quarantined (degraded report)
 };
 
 struct FleetConfig {
@@ -72,6 +73,8 @@ struct FleetSummary {
   std::size_t calibrated = 0;  // reports recorded (aborted ones included)
   std::size_t failed = 0;      // aborted reports among `calibrated`
   std::size_t skipped = 0;     // jobs never started (cancellation)
+  std::size_t quarantined = 0; // nodes with >= 1 quarantined stage
+  std::size_t recovered = 0;   // nodes that needed retries but completed clean
   double wall_s = 0.0;
   double nodes_per_s = 0.0;
   std::vector<FleetFailure> failures;

@@ -51,106 +51,186 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
   clear.obstructions = nullptr;
   clear.fading = nullptr;
 
+  // Stage bodies run under the retry policy: each attempt starts from the
+  // stage's reset closure, so a retried (or quarantined) stage never leaks
+  // a partial attempt into the report. With the default passthrough policy
+  // the runner is a plain call and exceptions propagate exactly as before.
+  RetryRunner runner(config_.retry, claims.node_id, device, trace);
+
   // --- 1. ADS-B directional survey --------------------------------------
   if (world_.sky) {
     StageTimer timer(report.metrics, Stage::kSurvey, trace, claims.node_id);
-    airtraffic::GroundTruthService gt(*world_.sky, world_.ground_truth_latency_s);
-    AdsbSurvey survey(config_.survey);
-    report.survey = survey.run(device, *world_.sky, gt);
-    StageSample& sample = report.metrics.at(Stage::kSurvey);
-    sample.frames_decoded = report.survey.total_frames_decoded;
-    if (config_.survey.fidelity == Fidelity::kWaveform)
-      sample.samples_captured = static_cast<std::uint64_t>(
-          config_.survey.duration_s * adsb::kPpmSampleRateHz);
+    runner.run(
+        Stage::kSurvey, report.fault_records,
+        [&] {
+          report.survey = SurveyResult{};
+          report.metrics.at(Stage::kSurvey) = StageSample{};
+        },
+        [&] {
+          airtraffic::GroundTruthService gt(*world_.sky,
+                                            world_.ground_truth_latency_s);
+          AdsbSurvey survey(config_.survey);
+          report.survey = survey.run(device, *world_.sky, gt);
+          StageSample& sample = report.metrics.at(Stage::kSurvey);
+          sample.frames_decoded = report.survey.total_frames_decoded;
+          if (config_.survey.fidelity == Fidelity::kWaveform)
+            sample.samples_captured = static_cast<std::uint64_t>(
+                config_.survey.duration_s * adsb::kPpmSampleRateHz);
+        });
   }
   {
     StageTimer timer(report.metrics, Stage::kFov, trace, claims.node_id);
-    report.fov = config_.use_knn_fov ? estimate_fov_knn(report.survey, config_.fov)
-                                     : estimate_fov_sectors(report.survey, config_.fov);
+    runner.run(
+        Stage::kFov, report.fault_records, [&] { report.fov = FovEstimate{}; },
+        [&] {
+          report.fov = config_.use_knn_fov
+                           ? estimate_fov_knn(report.survey, config_.fov)
+                           : estimate_fov_sectors(report.survey, config_.fov);
+        });
   }
 
   // --- 2. Cellular scan ---------------------------------------------------
-  StageTimer cell_timer(report.metrics, Stage::kCellScan, trace, claims.node_id);
-  cellular::CellScanner scanner(config_.cell_scan);
-  const auto nearby = world_.cells.near(rx.position, config_.cell_search_radius_m);
-  report.cell_scan =
-      scanner.scan(nearby, rx, device.info().frontend_loss_db);
-
-  std::vector<BandMeasurement> measurements;
-  for (const auto& meas : report.cell_scan) {
-    const auto expected = scanner.measure(meas.cell, clear);
-    BandMeasurement bm;
-    bm.kind = SignalKind::kCellular;
-    std::ostringstream label;
-    label << meas.cell.operator_name << " B" << meas.cell.band << " ("
-          << meas.cell.dl_freq_hz / 1e6 << " MHz)";
-    bm.source_label = label.str();
-    bm.freq_hz = meas.cell.dl_freq_hz;
-    bm.expected_dbm = expected.rsrp_dbm;
-    if (meas.decoded) bm.measured_dbm = meas.rsrp_dbm;
-    bm.azimuth_deg = geo::bearing_deg(rx.position, meas.cell.position);
-    measurements.push_back(std::move(bm));
+  std::vector<BandMeasurement> cell_measurements;
+  {
+    StageTimer cell_timer(report.metrics, Stage::kCellScan, trace, claims.node_id);
+    runner.run(
+        Stage::kCellScan, report.fault_records,
+        [&] {
+          report.cell_scan.clear();
+          cell_measurements.clear();
+        },
+        [&] {
+          cellular::CellScanner scanner(config_.cell_scan);
+          const auto nearby =
+              world_.cells.near(rx.position, config_.cell_search_radius_m);
+          report.cell_scan =
+              scanner.scan(nearby, rx, device.info().frontend_loss_db);
+          for (const auto& meas : report.cell_scan) {
+            const auto expected = scanner.measure(meas.cell, clear);
+            BandMeasurement bm;
+            bm.kind = SignalKind::kCellular;
+            std::ostringstream label;
+            label << meas.cell.operator_name << " B" << meas.cell.band << " ("
+                  << meas.cell.dl_freq_hz / 1e6 << " MHz)";
+            bm.source_label = label.str();
+            bm.freq_hz = meas.cell.dl_freq_hz;
+            bm.expected_dbm = expected.rsrp_dbm;
+            if (meas.decoded) bm.measured_dbm = meas.rsrp_dbm;
+            bm.azimuth_deg = geo::bearing_deg(rx.position, meas.cell.position);
+            cell_measurements.push_back(std::move(bm));
+          }
+        });
   }
-  cell_timer.stop();
 
   // --- 3. Broadcast TV sweep ----------------------------------------------
-  StageTimer tv_timer(report.metrics, Stage::kTvSweep, trace, claims.node_id);
-  tv::PowerMeter meter(config_.tv_meter);
+  std::vector<BandMeasurement> tv_measurements;
   const double tv_noise_dbm = prop::noise_floor_dbm(
       config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
-  for (const auto& emitter : world_.tv_channels) {
-    const auto channel = tv::channel_for_frequency(emitter.carrier_hz);
-    if (!channel) continue;
-    const auto reading = meter.measure_channel(device, *channel);
-    report.metrics.at(Stage::kTvSweep).samples_captured += reading.samples_used;
-    report.tv_readings.push_back(reading);
+  {
+    StageTimer tv_timer(report.metrics, Stage::kTvSweep, trace, claims.node_id);
+    runner.run(
+        Stage::kTvSweep, report.fault_records,
+        [&] {
+          report.tv_readings.clear();
+          tv_measurements.clear();
+          report.metrics.at(Stage::kTvSweep) = StageSample{};
+        },
+        [&] {
+          tv::PowerMeter meter(config_.tv_meter);
+          for (const auto& emitter : world_.tv_channels) {
+            const auto channel = tv::channel_for_frequency(emitter.carrier_hz);
+            if (!channel) continue;
+            const auto reading = meter.measure_channel(device, *channel);
+            report.metrics.at(Stage::kTvSweep).samples_captured +=
+                reading.samples_used;
+            report.tv_readings.push_back(reading);
 
-    // Clear-sky expectation straight from the link budget.
-    sdr::FixedEmitterSource probe(emitter, util::Rng(1));
-    BandMeasurement bm;
-    bm.kind = SignalKind::kTv;
-    std::ostringstream label;
-    label << "TV ch " << *channel << " (" << emitter.carrier_hz / 1e6 << " MHz)";
-    bm.source_label = label.str();
-    bm.freq_hz = emitter.carrier_hz;
-    bm.expected_dbm = probe.received_power_dbm(clear);
-    if (reading.tune_ok &&
-        reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
-      bm.measured_dbm = reading.power_dbm;
-    bm.azimuth_deg = geo::bearing_deg(rx.position, emitter.position);
-    measurements.push_back(std::move(bm));
+            // Clear-sky expectation straight from the link budget.
+            sdr::FixedEmitterSource probe(emitter, util::Rng(1));
+            BandMeasurement bm;
+            bm.kind = SignalKind::kTv;
+            std::ostringstream label;
+            label << "TV ch " << *channel << " (" << emitter.carrier_hz / 1e6
+                  << " MHz)";
+            bm.source_label = label.str();
+            bm.freq_hz = emitter.carrier_hz;
+            bm.expected_dbm = probe.received_power_dbm(clear);
+            if (reading.tune_ok &&
+                reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
+              bm.measured_dbm = reading.power_dbm;
+            bm.azimuth_deg = geo::bearing_deg(rx.position, emitter.position);
+            tv_measurements.push_back(std::move(bm));
+          }
+        });
   }
-  tv_timer.stop();
 
   // --- 4. Fuse, classify, verify -------------------------------------------
   {
     StageTimer timer(report.metrics, Stage::kFuse, trace, claims.node_id);
-    report.frequency_response =
-        evaluate_frequency_response(std::move(measurements), config_.freqresp);
-    report.classification = classify_installation(report.fov, report.frequency_response,
-                                                  config_.classifier);
-    report.trust = evaluate_trust(claims, report.survey, report.fov,
-                                  report.frequency_response, report.classification,
-                                  config_.trust);
+    runner.run(
+        Stage::kFuse, report.fault_records,
+        [&] {
+          report.frequency_response = FrequencyResponseReport{};
+          report.classification = Classification{};
+          report.trust = TrustReport{};
+          report.hardware = HardwareDiagnosis{};
+        },
+        [&] {
+          std::vector<BandMeasurement> measurements;
+          measurements.reserve(cell_measurements.size() + tv_measurements.size());
+          measurements.insert(measurements.end(), cell_measurements.begin(),
+                              cell_measurements.end());
+          measurements.insert(measurements.end(), tv_measurements.begin(),
+                              tv_measurements.end());
+          report.frequency_response = evaluate_frequency_response(
+              std::move(measurements), config_.freqresp);
+          report.classification = classify_installation(
+              report.fov, report.frequency_response, config_.classifier);
+          report.trust = evaluate_trust(claims, report.survey, report.fov,
+                                        report.frequency_response,
+                                        report.classification, config_.trust);
 
-    // --- 5. Hardware separation ---------------------------------------------
-    report.hardware = diagnose_hardware(report.frequency_response, report.fov,
-                                        config_.hardware);
+          // --- 5. Hardware separation -----------------------------------
+          report.hardware = diagnose_hardware(report.frequency_response,
+                                              report.fov, config_.hardware);
+        });
   }
   if (config_.run_lo_calibration) {
     StageTimer timer(report.metrics, Stage::kLoCal, trace, claims.node_id);
-    // Only pilot-hunt on channels the sweep showed as receivable.
-    std::vector<int> receivable;
-    for (const auto& reading : report.tv_readings)
-      if (reading.tune_ok &&
-          reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
-        receivable.push_back(reading.rf_channel);
-    report.lo_calibration = calibrate_lo(device, receivable, config_.lo);
-    report.metrics.at(Stage::kLoCal).samples_captured +=
-        static_cast<std::uint64_t>(report.lo_calibration.pilots.size()) *
-        static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
-                                   config_.lo.capture_duration_s);
+    runner.run(
+        Stage::kLoCal, report.fault_records,
+        [&] {
+          report.lo_calibration = LoCalibrationResult{};
+          report.metrics.at(Stage::kLoCal) = StageSample{};
+        },
+        [&] {
+          // Only pilot-hunt on channels the sweep showed as receivable.
+          std::vector<int> receivable;
+          for (const auto& reading : report.tv_readings)
+            if (reading.tune_ok &&
+                reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
+              receivable.push_back(reading.rf_channel);
+          report.lo_calibration = calibrate_lo(device, receivable, config_.lo);
+          report.metrics.at(Stage::kLoCal).samples_captured +=
+              static_cast<std::uint64_t>(report.lo_calibration.pilots.size()) *
+              static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
+                                         config_.lo.capture_duration_s);
+        });
   }
+
+  // Quarantined stages feed back into trust: the marketplace must see a
+  // node that could not complete a stage as strictly less dependable.
+  std::size_t quarantined_stages = 0;
+  for (const FaultRecord& fr : report.fault_records) {
+    if (fr.outcome == FaultOutcome::kRecovered) continue;
+    ++quarantined_stages;
+    report.trust.findings.push_back(
+        {Severity::kViolation,
+         std::string("stage ") + to_string(fr.stage) + " quarantined after " +
+             std::to_string(fr.attempts) + " attempt(s): " + fr.last_error});
+  }
+  for (std::size_t i = 0; i < quarantined_stages; ++i)
+    report.trust.score *= 0.5;  // each lost stage halves the trust score
 }
 
 void CalibrationReport::write_json(std::ostream& os) const {
@@ -163,6 +243,29 @@ void CalibrationReport::write_json(std::ostream& os) const {
   if (aborted()) {
     w.key("abort_reason");
     w.value(abort_reason);
+  }
+  w.key("quarantined");
+  w.value(quarantined());
+  if (!fault_records.empty()) {
+    w.key("fault_records");
+    w.begin_array();
+    for (const auto& fr : fault_records) {
+      w.begin_object();
+      w.key("stage");
+      w.value(to_string(fr.stage));
+      w.key("attempts");
+      w.value(static_cast<std::int64_t>(fr.attempts));
+      w.key("outcome");
+      w.value(to_string(fr.outcome));
+      w.key("degraded");
+      w.value(fr.degraded);
+      w.key("backoff_total_s");
+      w.value(fr.backoff_total_s);
+      w.key("error");
+      w.value(fr.last_error);
+      w.end_object();
+    }
+    w.end_array();
   }
 
   w.key("survey");

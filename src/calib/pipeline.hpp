@@ -19,6 +19,7 @@
 #include "calib/hardware.hpp"
 #include "calib/lo_calibration.hpp"
 #include "calib/metrics.hpp"
+#include "calib/retry.hpp"
 #include "calib/survey.hpp"
 #include "calib/trust.hpp"
 #include "cellular/scanner.hpp"
@@ -59,6 +60,11 @@ struct PipelineConfig {
   /// Reference-oscillator calibration against receivable TV pilots.
   LoCalibrationConfig lo;
   bool run_lo_calibration = true;
+  /// Per-stage retry/backoff/deadline/quarantine policy. The default is a
+  /// strict passthrough (one attempt, exceptions propagate — the fleet
+  /// engine then aborts the node); chaos runs and hardware deployments
+  /// raise max_attempts and enable quarantine.
+  RetryPolicy retry;
 };
 
 /// Complete evaluation of one node.
@@ -75,12 +81,24 @@ struct CalibrationReport {
   LoCalibrationResult lo_calibration;
   /// Where each stage's wall time / sample budget went.
   StageMetrics metrics;
+  /// Per-stage fault history (retries, quarantines). Empty for a clean run;
+  /// a stage only appears here when it failed at least once, so fault-free
+  /// reports are byte-identical whether or not retry is enabled.
+  std::vector<FaultRecord> fault_records;
   /// Non-empty when the run aborted partway (device threw, tune storm, ...);
   /// fields populated before the abort point remain valid. The fleet engine
   /// fills this so one broken node never takes down a batch.
   std::string abort_reason;
 
   [[nodiscard]] bool aborted() const noexcept { return !abort_reason.empty(); }
+
+  /// True when at least one stage was quarantined (persistent fault or
+  /// deadline expiry) — the report is valid but degraded.
+  [[nodiscard]] bool quarantined() const noexcept {
+    for (const FaultRecord& fr : fault_records)
+      if (fr.outcome != FaultOutcome::kRecovered) return true;
+    return false;
+  }
 
   /// Machine-readable export for downstream tooling.
   void write_json(std::ostream& os) const;

@@ -1,0 +1,132 @@
+#include "calib/retry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sdr/device.hpp"
+
+namespace speccal::calib {
+
+namespace {
+
+/// Stable per-node seed: chains every node-id byte through SplitMix64 so
+/// "node-1"/"node-2" land in unrelated jitter streams regardless of which
+/// worker thread runs them.
+std::uint64_t jitter_seed_for(std::uint64_t seed, std::string_view node_id) {
+  std::uint64_t state = seed;
+  for (const char c : node_id) {
+    state ^= static_cast<unsigned char>(c);
+    (void)util::splitmix64(state);
+  }
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+const char* to_string(FaultOutcome outcome) noexcept {
+  switch (outcome) {
+    case FaultOutcome::kRecovered: return "recovered";
+    case FaultOutcome::kQuarantined: return "quarantined";
+    case FaultOutcome::kDeadlineExpired: return "deadline_expired";
+  }
+  return "?";
+}
+
+RetryRunner::RetryRunner(const RetryPolicy& policy, std::string_view node_id,
+                         sdr::Device& device, obs::TraceSession* trace)
+    : policy_(policy),
+      node_id_(node_id),
+      device_(device),
+      trace_(trace),
+      jitter_rng_(jitter_seed_for(policy.jitter_seed, node_id)) {}
+
+double RetryRunner::next_backoff_s(int failed_attempt) noexcept {
+  double backoff = policy_.initial_backoff_s *
+                   std::pow(policy_.backoff_multiplier, failed_attempt - 1);
+  if (policy_.jitter_fraction > 0.0)
+    backoff *= 1.0 + policy_.jitter_fraction * (2.0 * jitter_rng_.uniform() - 1.0);
+  return std::max(0.0, backoff);
+}
+
+bool RetryRunner::run(Stage stage, std::vector<FaultRecord>& records,
+                      const std::function<void()>& reset,
+                      const std::function<void()>& body) {
+  if (policy_.passthrough()) {
+    reset();
+    body();
+    return true;
+  }
+
+  const auto stage_start = std::chrono::steady_clock::now();
+  FaultRecord record;
+  record.stage = stage;
+  std::exception_ptr last_exception;
+  const int max_attempts = std::max(1, policy_.max_attempts);
+
+  for (int attempt = 1;; ++attempt) {
+    record.attempts = attempt;
+    try {
+      obs::Span retry_span;
+      if (attempt > 1) {
+        obs::Registry::global().counter("speccal_retry_attempts_total").add();
+        if (trace_ != nullptr) {
+          retry_span = obs::Span(trace_, "retry", "retry");
+          retry_span.arg("stage", to_string(stage));
+          retry_span.arg("attempt", static_cast<std::int64_t>(attempt));
+          if (!node_id_.empty()) retry_span.arg("node", node_id_);
+        }
+      }
+      reset();
+      body();
+      if (attempt > 1) {
+        record.outcome = FaultOutcome::kRecovered;
+        obs::Registry::global().counter("speccal_retry_recovered_total").add();
+        records.push_back(std::move(record));
+      }
+      return true;
+    } catch (const std::exception& e) {
+      last_exception = std::current_exception();
+      record.last_error = e.what();
+    } catch (...) {
+      last_exception = std::current_exception();
+      record.last_error = "unknown exception";
+    }
+
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      stage_start)
+            .count();
+    const bool deadline_hit = policy_.stage_deadline_s > 0.0 &&
+                              elapsed_s >= policy_.stage_deadline_s;
+    if (attempt >= max_attempts || deadline_hit) {
+      if (!policy_.quarantine) std::rethrow_exception(last_exception);
+      reset();  // drop the failed attempt's partial outputs
+      record.outcome = deadline_hit ? FaultOutcome::kDeadlineExpired
+                                    : FaultOutcome::kQuarantined;
+      record.degraded = true;
+      obs::Registry::global()
+          .counter("speccal_fault_quarantined_stages_total")
+          .add();
+      records.push_back(std::move(record));
+      return false;
+    }
+
+    const double backoff_s = next_backoff_s(attempt);
+    record.backoff_total_s += backoff_s;
+    obs::Registry::global()
+        .histogram("speccal_retry_backoff_ms", obs::default_duration_bounds_ms())
+        .observe(backoff_s * 1e3);
+    if (policy_.sleep_on_backoff) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    } else if (sdr::SimControl* sim = device_.sim_control()) {
+      // Simulated deployments: backoff consumes stream time, not wall time —
+      // deterministic, and the world genuinely moves on while we wait.
+      sim->advance_time(backoff_s);
+    }
+  }
+}
+
+}  // namespace speccal::calib

@@ -1,0 +1,444 @@
+#include "sdr/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace speccal::sdr {
+
+namespace {
+
+obs::Counter& injected_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("speccal_fault_injected_total");
+  return c;
+}
+
+[[noreturn]] void throw_injected(FaultOp op, FaultKind kind, std::uint64_t index) {
+  throw std::runtime_error(std::string("injected fault: ") + to_string(op) +
+                           " op " + std::to_string(index) + " (" +
+                           to_string(kind) + ")");
+}
+
+}  // namespace
+
+const char* to_string(FaultOp op) noexcept {
+  switch (op) {
+    case FaultOp::kCapture: return "capture";
+    case FaultOp::kTune: return "tune";
+    case FaultOp::kGain: return "gain";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kShortRead: return "short_read";
+    case FaultKind::kNanBurst: return "nan";
+    case FaultKind::kSaturate: return "saturate";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kTuneRefuse: return "tune_refuse";
+    case FaultKind::kGainDriftDb: return "gain_drift";
+  }
+  return "?";
+}
+
+FaultInjectingDevice::FaultInjectingDevice(std::unique_ptr<Device> inner,
+                                           std::vector<FaultSpec> schedule,
+                                           std::uint64_t seed)
+    : inner_(std::move(inner)), schedule_(std::move(schedule)), rng_(seed) {
+  if (inner_ == nullptr)
+    throw std::invalid_argument("FaultInjectingDevice: inner device is null");
+}
+
+const FaultSpec* FaultInjectingDevice::match(FaultOp op, std::uint64_t index) {
+  for (const FaultSpec& spec : schedule_) {
+    if (spec.op != op) continue;
+    if (index < spec.first) continue;
+    if (spec.count >= 0 &&
+        index >= spec.first + static_cast<std::uint64_t>(spec.count))
+      continue;
+    if (spec.probability < 1.0 && !rng_.chance(spec.probability)) continue;
+    return &spec;
+  }
+  return nullptr;
+}
+
+void FaultInjectingDevice::note_injection(const FaultSpec&) {
+  ++injected_;
+  injected_counter().add();
+}
+
+bool FaultInjectingDevice::tune(double center_freq_hz, double sample_rate_hz) {
+  const std::uint64_t index = tune_ops_++;
+  if (const FaultSpec* spec = match(FaultOp::kTune, index)) {
+    note_injection(*spec);
+    if (spec->kind == FaultKind::kThrow)
+      throw_injected(FaultOp::kTune, spec->kind, index);
+    // kTuneRefuse (and any misdirected kind): the PLL refuses to lock. The
+    // inner device is left untouched so its previous tuning stays valid.
+    return false;
+  }
+  return inner_->tune(center_freq_hz, sample_rate_hz);
+}
+
+void FaultInjectingDevice::set_gain_db(double gain_db) {
+  const std::uint64_t index = gain_ops_++;
+  if (const FaultSpec* spec = match(FaultOp::kGain, index);
+      spec != nullptr && spec->kind == FaultKind::kGainDriftDb) {
+    note_injection(*spec);
+    inner_->set_gain_db(gain_db + spec->param);
+    reported_gain_db_ = gain_db;  // the silent lie: report what was asked
+    gain_lie_active_ = true;
+    return;
+  }
+  gain_lie_active_ = false;
+  inner_->set_gain_db(gain_db);
+}
+
+double FaultInjectingDevice::gain_db() const {
+  return gain_lie_active_ ? reported_gain_db_ : inner_->gain_db();
+}
+
+dsp::Buffer FaultInjectingDevice::capture(std::size_t count) {
+  const std::uint64_t index = capture_ops_++;
+  const FaultSpec* spec = match(FaultOp::kCapture, index);
+  if (spec == nullptr) return inner_->capture(count);
+  note_injection(*spec);
+  switch (spec->kind) {
+    case FaultKind::kThrow:
+      throw_injected(FaultOp::kCapture, spec->kind, index);
+    case FaultKind::kStall: {
+      const double stall_s = std::max(0.0, spec->param);
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+      stalled_s_ += stall_s;
+      throw_injected(FaultOp::kCapture, spec->kind, index);
+    }
+    case FaultKind::kShortRead: {
+      dsp::Buffer buf = inner_->capture(count);
+      const double frac = std::clamp(spec->param, 0.0, 1.0);
+      buf.resize(static_cast<std::size_t>(static_cast<double>(buf.size()) * frac));
+      return buf;
+    }
+    case FaultKind::kNanBurst: {
+      dsp::Buffer buf = inner_->capture(count);
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      std::fill(buf.begin(), buf.end(), dsp::Sample{nan, nan});
+      return buf;
+    }
+    case FaultKind::kSaturate: {
+      dsp::Buffer buf = inner_->capture(count);
+      std::fill(buf.begin(), buf.end(), dsp::Sample{1.0f, 1.0f});
+      return buf;
+    }
+    default:
+      return inner_->capture(count);  // tune/gain kinds never reach here
+  }
+}
+
+void FaultInjectingDevice::capture_into(std::span<dsp::Sample> out) {
+  const std::uint64_t index = capture_ops_++;
+  const FaultSpec* spec = match(FaultOp::kCapture, index);
+  if (spec == nullptr) {
+    inner_->capture_into(out);
+    return;
+  }
+  note_injection(*spec);
+  switch (spec->kind) {
+    case FaultKind::kThrow:
+      throw_injected(FaultOp::kCapture, spec->kind, index);
+    case FaultKind::kStall: {
+      const double stall_s = std::max(0.0, spec->param);
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+      stalled_s_ += stall_s;
+      throw_injected(FaultOp::kCapture, spec->kind, index);
+    }
+    case FaultKind::kShortRead: {
+      // Only the head of the buffer is written; the tail keeps whatever the
+      // caller had there (stale samples) — the nastiest real-world variant.
+      const double frac = std::clamp(spec->param, 0.0, 1.0);
+      const auto n =
+          static_cast<std::size_t>(static_cast<double>(out.size()) * frac);
+      inner_->capture_into(out.subspan(0, n));
+      return;
+    }
+    case FaultKind::kNanBurst: {
+      inner_->capture_into(out);
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      std::fill(out.begin(), out.end(), dsp::Sample{nan, nan});
+      return;
+    }
+    case FaultKind::kSaturate: {
+      inner_->capture_into(out);
+      std::fill(out.begin(), out.end(), dsp::Sample{1.0f, 1.0f});
+      return;
+    }
+    default:
+      inner_->capture_into(out);
+      return;
+  }
+}
+
+// --- Profiles ---------------------------------------------------------------
+
+const std::vector<FaultSpec>* FaultProfile::faults_for(
+    std::size_t node_index) const noexcept {
+  for (const NodeFaults& n : nodes)
+    if (n.index == node_index && !n.faults.empty()) return &n.faults;
+  return nullptr;
+}
+
+std::unique_ptr<Device> FaultProfile::wrap(std::unique_ptr<Device> device,
+                                           std::size_t node_index) const {
+  const std::vector<FaultSpec>* faults = faults_for(node_index);
+  if (faults == nullptr) return device;
+  // Per-node injector seed: stable function of the profile seed and the
+  // node index, so probabilistic faults are reproducible per node no matter
+  // which worker thread builds the device.
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull * (node_index + 1));
+  const std::uint64_t node_seed = util::splitmix64(state);
+  return std::make_unique<FaultInjectingDevice>(std::move(device), *faults,
+                                                node_seed);
+}
+
+namespace {
+
+/// Minimal JSON reader for fault profiles only. The library's JSON support
+/// is deliberately write-only (util/json.hpp); operator-supplied chaos
+/// profiles are the one place a parse is required, so this stays a private,
+/// schema-sized subset: objects, arrays, strings (no \u escapes), numbers,
+/// booleans. Anything else is a hard std::invalid_argument.
+class ProfileParser {
+ public:
+  explicit ProfileParser(std::string_view text) : text_(text) {}
+
+  FaultProfile parse() {
+    FaultProfile profile;
+    profile.name = "custom";
+    profile.expected_quarantined_nodes = 0;
+    skip_ws();
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "name") profile.name = parse_string();
+      else if (key == "seed") profile.seed = static_cast<std::uint64_t>(parse_number());
+      else if (key == "retry_max_attempts") profile.retry_max_attempts = static_cast<int>(parse_number());
+      else if (key == "initial_backoff_s") profile.initial_backoff_s = parse_number();
+      else if (key == "stage_deadline_s") profile.stage_deadline_s = parse_number();
+      else if (key == "expected_quarantined_nodes") profile.expected_quarantined_nodes = static_cast<std::size_t>(parse_number());
+      else if (key == "nodes") parse_nodes(profile);
+      else fail("unknown profile key '" + key + "'");
+      skip_ws();
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after profile");
+    return profile;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("fault profile: " + what + " at byte " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') fail("escapes are not supported in fault profiles");
+      out.push_back(c);
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number '" + token + "'");
+    return v;
+  }
+
+  FaultOp parse_op() {
+    const std::string s = parse_string();
+    if (s == "capture") return FaultOp::kCapture;
+    if (s == "tune") return FaultOp::kTune;
+    if (s == "gain") return FaultOp::kGain;
+    fail("unknown op '" + s + "' (capture|tune|gain)");
+  }
+
+  FaultKind parse_kind() {
+    const std::string s = parse_string();
+    if (s == "throw") return FaultKind::kThrow;
+    if (s == "short_read") return FaultKind::kShortRead;
+    if (s == "nan") return FaultKind::kNanBurst;
+    if (s == "saturate") return FaultKind::kSaturate;
+    if (s == "stall") return FaultKind::kStall;
+    if (s == "tune_refuse") return FaultKind::kTuneRefuse;
+    if (s == "gain_drift") return FaultKind::kGainDriftDb;
+    fail("unknown kind '" + s +
+         "' (throw|short_read|nan|saturate|stall|tune_refuse|gain_drift)");
+  }
+
+  FaultSpec parse_fault() {
+    FaultSpec spec;
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "op") spec.op = parse_op();
+      else if (key == "kind") spec.kind = parse_kind();
+      else if (key == "first") spec.first = static_cast<std::uint64_t>(parse_number());
+      else if (key == "count") spec.count = static_cast<std::int64_t>(parse_number());
+      else if (key == "param") spec.param = parse_number();
+      else if (key == "probability") spec.probability = parse_number();
+      else fail("unknown fault key '" + key + "'");
+      skip_ws();
+    }
+    return spec;
+  }
+
+  void parse_nodes(FaultProfile& profile) {
+    expect('[');
+    if (try_consume(']')) return;
+    for (;;) {
+      FaultProfile::NodeFaults node;
+      expect('{');
+      bool first = true;
+      while (!try_consume('}')) {
+        if (!first) expect(',');
+        first = false;
+        const std::string key = parse_string();
+        expect(':');
+        if (key == "index") {
+          node.index = static_cast<std::size_t>(parse_number());
+        } else if (key == "faults") {
+          expect('[');
+          if (!try_consume(']')) {
+            for (;;) {
+              node.faults.push_back(parse_fault());
+              if (try_consume(']')) break;
+              expect(',');
+            }
+          }
+        } else {
+          fail("unknown node key '" + key + "'");
+        }
+        skip_ws();
+      }
+      profile.nodes.push_back(std::move(node));
+      if (try_consume(']')) return;
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// "flaky20": scripted for a 20-node fleet. Three transient nodes whose
+/// first two captures throw (recover on retry 3), one dead node whose every
+/// capture throws (quarantined). Everyone else untouched — their reports
+/// must stay bitwise identical to a fault-free run.
+FaultProfile flaky20_profile() {
+  FaultProfile profile;
+  profile.name = "flaky20";
+  profile.seed = 20;
+  profile.retry_max_attempts = 4;
+  profile.initial_backoff_s = 0.01;
+  profile.expected_quarantined_nodes = 1;
+  const FaultSpec transient{FaultOp::kCapture, FaultKind::kThrow, 0, 2, 0.0, 1.0};
+  const FaultSpec dead{FaultOp::kCapture, FaultKind::kThrow, 0, -1, 0.0, 1.0};
+  profile.nodes.push_back({2, {transient}});
+  profile.nodes.push_back({5, {dead}});
+  profile.nodes.push_back({7, {transient}});
+  profile.nodes.push_back({12, {transient}});
+  return profile;
+}
+
+/// "chaos": flaky20 plus silent data corruption — a deaf tuner, a NaN
+/// spewer, a saturated front end and a gain liar. Only the dead node
+/// quarantines; the corrupted nodes complete with degraded, low-trust
+/// reports (the calibration layer's job is to notice).
+FaultProfile chaos_profile() {
+  FaultProfile profile = flaky20_profile();
+  profile.name = "chaos";
+  profile.seed = 1337;
+  profile.nodes.push_back(
+      {9, {FaultSpec{FaultOp::kTune, FaultKind::kTuneRefuse, 0, -1, 0.0, 1.0}}});
+  profile.nodes.push_back(
+      {14, {FaultSpec{FaultOp::kCapture, FaultKind::kNanBurst, 0, -1, 0.0, 1.0}}});
+  profile.nodes.push_back(
+      {17, {FaultSpec{FaultOp::kCapture, FaultKind::kSaturate, 0, -1, 0.0, 0.5},
+            FaultSpec{FaultOp::kGain, FaultKind::kGainDriftDb, 0, -1, 6.0, 1.0}}});
+  return profile;
+}
+
+}  // namespace
+
+FaultProfile make_fault_profile(std::string_view name_or_json) {
+  // Inline JSON document?
+  const auto non_ws = name_or_json.find_first_not_of(" \t\r\n");
+  if (non_ws != std::string_view::npos && name_or_json[non_ws] == '{')
+    return ProfileParser(name_or_json).parse();
+
+  if (name_or_json == "none") return FaultProfile{};
+  if (name_or_json == "flaky20") return flaky20_profile();
+  if (name_or_json == "chaos") return chaos_profile();
+  throw std::invalid_argument(
+      "unknown fault profile '" + std::string(name_or_json) +
+      "' (built-ins: none, flaky20, chaos; or an inline JSON document)");
+}
+
+}  // namespace speccal::sdr
