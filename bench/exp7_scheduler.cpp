@@ -10,7 +10,7 @@
 // validates the analytic coverage model against the sky simulator.
 #include <iostream>
 
-#include "calib/scheduler.hpp"
+#include "calib/window_planner.hpp"
 #include "scenario/testbed.hpp"
 #include "util/table.hpp"
 

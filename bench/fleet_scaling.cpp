@@ -1,13 +1,15 @@
-// Fleet calibration scaling: nodes/sec at 1, 2, 4, 8 worker threads over a
-// 20-node fleet, verifying that the parallel engine's output is
-// bitwise-identical to the serial run (per-node device construction and
-// RNG seeding leave no shared mutable state to race on).
+// Fleet calibration scaling: nodes/sec at 1, 2, 4, 8 worker threads
+// (override with --threads=1,2,4) over a 20-node fleet, verifying that the
+// stage-graph executor's output is bitwise-identical to the serial run
+// (per-node device construction and per-(node,stage) RNG seeding leave no
+// shared mutable state to race on).
 //
 // Speedup tracks the host's core count; on a single-core container every
 // row degenerates to ~1x while the identity check still bites.
 //
 // Results are also written to BENCH_fleet.json (override with --json=PATH;
-// schema in DESIGN.md §8).
+// schema v3, documented in DESIGN.md §8/§12: per-row executor tallies
+// threads_used / tasks_run / tasks_stolen ride along with the timings).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -74,7 +76,23 @@ struct ScalingRow {
   double speedup = 0.0;
   bool identical = false;
   bool oversubscribed = false;  // threads > real hardware threads
+  calib::ExecutorStats executor;  // stage-graph executor tallies for this row
 };
+
+std::vector<unsigned> parse_threads(const std::string& list) {
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok = list.substr(pos, comma == std::string::npos
+                                                 ? std::string::npos
+                                                 : comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
 
 bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& rows,
                       const calib::FleetStageStats& serial_stages) {
@@ -88,7 +106,7 @@ bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& ro
   w.key("bench");
   w.value("fleet_scaling");
   w.key("schema_version");
-  w.value(2);
+  w.value(3);
   w.key("fleet_size");
   w.value(kFleetSize);
   // Real host parallelism: rows sweeping more threads than this are
@@ -111,6 +129,14 @@ bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& ro
     w.value(row.identical);
     w.key("oversubscribed");
     w.value(row.oversubscribed);
+    // Stage-graph executor tallies (schema v3): how many graph tasks ran
+    // and how many migrated between workers via stealing.
+    w.key("threads_used");
+    w.value(static_cast<std::size_t>(row.executor.threads_used));
+    w.key("tasks_run");
+    w.value(row.executor.tasks_run);
+    w.key("tasks_stolen");
+    w.value(row.executor.tasks_stolen);
     w.end_object();
   }
   w.end_array();
@@ -148,9 +174,15 @@ bool write_bench_json(const std::string& path, const std::vector<ScalingRow>& ro
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_fleet.json";
+  std::vector<unsigned> thread_list{1u, 2u, 4u, 8u};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--threads=", 0) == 0) thread_list = parse_threads(arg.substr(10));
+  }
+  if (thread_list.empty() || thread_list.front() != 1u) {
+    // The serial row is the identity + speedup baseline; it must come first.
+    thread_list.insert(thread_list.begin(), 1u);
   }
 
   const auto world = scenario::make_world(kSeed);
@@ -167,8 +199,8 @@ int main(int argc, char** argv) {
   std::vector<ScalingRow> rows;
   calib::FleetStageStats serial_stages;
 
-  util::Table table({"threads", "wall s", "nodes/s", "speedup", "identical"});
-  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+  util::Table table({"threads", "wall s", "nodes/s", "speedup", "stolen", "identical"});
+  for (const unsigned threads : thread_list) {
     calib::FleetConfig fleet_cfg;
     fleet_cfg.threads = threads;
     calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
@@ -196,9 +228,11 @@ int main(int argc, char** argv) {
                    util::format_fixed(summary.wall_s, 3),
                    util::format_fixed(summary.nodes_per_s, 2),
                    util::format_fixed(summary.nodes_per_s / serial_rate, 2) + "x",
+                   std::to_string(summary.executor.tasks_stolen),
                    identical ? "yes" : "NO"});
     rows.push_back({threads, summary.wall_s, summary.nodes_per_s,
-                    summary.nodes_per_s / serial_rate, identical, oversubscribed});
+                    summary.nodes_per_s / serial_rate, identical, oversubscribed,
+                    summary.executor});
     if (!identical) {
       std::cerr << "FAIL: parallel output diverged from serial at " << threads
                 << " threads\n";

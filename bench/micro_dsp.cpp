@@ -98,20 +98,20 @@ std::vector<std::complex<float>> noise_block(std::size_t n, std::uint64_t seed) 
 
 // ------------------------------------------------------- gbench: engines ----
 
-void BM_FftLegacyShimDouble(benchmark::State& state) {
+void BM_FftCachedPlanDouble(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   std::vector<std::complex<double>> data(n);
   for (auto& v : data) v = {rng.normal(), rng.normal()};
   for (auto _ : state) {
     auto work = data;
-    dsp::fft_inplace(work);
+    dsp::PlanCache::shared().plan_f64(n)->forward(work);  // per-call lookup
     benchmark::DoNotOptimize(work.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_FftLegacyShimDouble)->Arg(1024)->Arg(8192)->Arg(65536);
+BENCHMARK(BM_FftCachedPlanDouble)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_FftPlanFloat(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -154,13 +154,14 @@ void BM_PowerSpectrumPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerSpectrumPlan)->Arg(4096)->Arg(8192);
 
-void BM_WelchOneShot(benchmark::State& state) {
+void BM_WelchFreshEstimatorPerCall(benchmark::State& state) {
   const auto block = noise_block(160000, 4);  // one 20 ms hop at 8 Msps
-  for (auto _ : state) benchmark::DoNotOptimize(dsp::welch_psd(block, 8e6));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dsp::WelchEstimator{}.estimate(block, 8e6));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block.size()));
 }
-BENCHMARK(BM_WelchOneShot);
+BENCHMARK(BM_WelchFreshEstimatorPerCall);
 
 void BM_WelchEstimatorReused(benchmark::State& state) {
   const auto block = noise_block(160000, 4);

@@ -3,8 +3,9 @@
 //  rent these services ... how can users trust the quality of data offered
 //  by each operator?"
 //
-// Builds a ~20-node fleet with varied siting and varied honesty and pushes
-// it through the parallel FleetCalibrator (serial fallback: threads=1).
+// Builds a fleet (default 20 nodes; --nodes=1000 for a scale run) with
+// varied siting and varied honesty and pushes it through the stage-graph
+// FleetCalibrator (serial fallback: threads=1).
 // Each worker constructs its own seeded device, so the trust scores are
 // bitwise-identical no matter how many threads run. Prints the marketplace
 // view — trust ranking, verified capabilities, who can serve a concrete
@@ -49,6 +50,9 @@ std::vector<FleetEntry> generate_fleet(std::size_t count) {
     entry.site = site;
     entry.id = std::string(names[i % std::size(names)]) + "-" +
                scenario::site_name(site) + (liar ? "-liar" : "");
+    // Beyond one pass over the names array the (name, site) pair repeats;
+    // append the index so registry keys stay unique at 1000-node scale.
+    if (i >= std::size(names)) entry.id += "-" + std::to_string(i);
     switch (site) {
       case scenario::Site::kRooftop:
         entry.claims_outdoor = true;
@@ -75,15 +79,15 @@ std::vector<FleetEntry> generate_fleet(std::size_t count) {
 
 int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 13;
-  constexpr std::size_t kFleetSize = 20;
 
-  // fleet_audit [threads] [--threads=N] [--metrics-out=PATH] [--trace-out=PATH]
-  //             [--fault-profile=<name|json>]
+  // fleet_audit [threads] [--threads=N] [--nodes=N] [--metrics-out=PATH]
+  //             [--trace-out=PATH] [--fault-profile=<name|json>]
   // Fault profiles script a reproducible chaos run: built-ins "none",
   // "flaky20", "chaos", or an inline JSON document (sdr/fault.hpp). With a
   // profile active the retry/quarantine policy is enabled and the run
   // self-checks its quarantine count against the profile's expectation.
   unsigned threads = 0;
+  std::size_t fleet_size = 20;
   std::string metrics_out;
   std::string trace_out;
   sdr::FaultProfile fault_profile;
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0)
       threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    else if (arg.rfind("--nodes=", 0) == 0)
+      fleet_size = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
     else if (arg.rfind("--metrics-out=", 0) == 0)
       metrics_out = arg.substr(14);
     else if (arg.rfind("--trace-out=", 0) == 0)
@@ -117,7 +123,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) trace.emplace();
 
   const auto world = scenario::make_world(kSeed);
-  const auto fleet = generate_fleet(kFleetSize);
+  const auto fleet = generate_fleet(fleet_size);
 
   calib::PipelineConfig cfg;
   cfg.survey.fidelity = calib::Fidelity::kLinkBudget;  // fleet-scale sweep
@@ -136,9 +142,14 @@ int main(int argc, char** argv) {
   fleet_cfg.threads = threads;
   fleet_cfg.trace = trace ? &*trace : nullptr;
   fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
-    std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
-              << (p.ok ? "" : "  (ABORTED)")
-              << (p.quarantined ? "  (QUARANTINED)" : "") << "\n";
+    // Per-node lines for small fleets; at 1000-node scale print a heartbeat
+    // every 100 nodes (plus aborts/quarantines, which are always notable).
+    const bool verbose = p.total <= 50;
+    if (verbose || !p.ok || p.quarantined || p.completed % 100 == 0 ||
+        p.completed == p.total)
+      std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
+                << (p.ok ? "" : "  (ABORTED)")
+                << (p.quarantined ? "  (QUARANTINED)" : "") << "\n";
   };
   calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
                                     fleet_cfg);
@@ -178,8 +189,11 @@ int main(int argc, char** argv) {
 
   util::Table table({"rank", "node", "trust", "verified siting", "FoV open %",
                      "violations"});
+  constexpr std::size_t kMaxTrustRows = 25;
+  const auto ranked = registry.ranked_by_trust();
   int rank = 1;
-  for (const auto& id : registry.ranked_by_trust()) {
+  for (const auto& id : ranked) {
+    if (static_cast<std::size_t>(rank) > kMaxTrustRows) break;
     const auto* report = registry.find(id);
     table.add_row({std::to_string(rank++), id,
                    util::format_fixed(report->trust.score, 0),
@@ -188,7 +202,11 @@ int main(int argc, char** argv) {
                        static_cast<int>(report->fov.open_fraction_deg * 100.0)),
                    std::to_string(report->trust.violations())});
   }
-  table.set_title("Marketplace trust ranking");
+  table.set_title(ranked.size() > kMaxTrustRows
+                      ? "Marketplace trust ranking (top " +
+                            std::to_string(kMaxTrustRows) + " of " +
+                            std::to_string(ranked.size()) + ")"
+                      : "Marketplace trust ranking");
   table.print(std::cout);
 
   util::Table stages({"stage", "nodes", "p50 ms", "p90 ms", "max ms",
@@ -203,26 +221,39 @@ int main(int argc, char** argv) {
   stages.set_title("Fleet-wide stage timing");
   stages.print(std::cout);
 
+  const auto print_capped = [&](const std::vector<std::string>& ids) {
+    constexpr std::size_t kMaxListed = 25;
+    std::size_t shown = 0;
+    for (const auto& id : ids) {
+      if (shown++ == kMaxListed) {
+        std::cout << "  ... and " << ids.size() - kMaxListed << " more\n";
+        break;
+      }
+      std::cout << "  -> " << id << "\n";
+    }
+  };
+
   std::cout << "\nRequest: monitor 2145 MHz (AWS-1) toward azimuth 280\n";
   const auto capable = registry.usable_for(2145e6, 280.0);
   if (capable.empty()) {
     std::cout << "  no verified node can serve this request\n";
   } else {
-    for (const auto& id : capable) std::cout << "  -> " << id << "\n";
+    print_capped(capable);
   }
 
   std::cout << "\nRequest: monitor 550 MHz broadcast band (any direction)\n";
-  for (const auto& id : registry.usable_for(550e6, std::nullopt))
-    std::cout << "  -> " << id << "\n";
+  print_capped(registry.usable_for(550e6, std::nullopt));
 
-  std::cout << "\nViolation details for flagged operators:\n";
-  registry.for_each_report([](const calib::CalibrationReport& report) {
-    if (report.trust.violations() == 0) return;
-    std::cout << "  " << report.claims.node_id << ":\n";
-    for (const auto& f : report.trust.findings)
-      if (f.severity == calib::Severity::kViolation)
-        std::cout << "    - " << f.description << "\n";
-  });
+  if (fleet.size() <= 50) {
+    std::cout << "\nViolation details for flagged operators:\n";
+    registry.for_each_report([](const calib::CalibrationReport& report) {
+      if (report.trust.violations() == 0) return;
+      std::cout << "  " << report.claims.node_id << ":\n";
+      for (const auto& f : report.trust.findings)
+        if (f.severity == calib::Severity::kViolation)
+          std::cout << "    - " << f.description << "\n";
+    });
+  }
 
   if (chaos) {
     std::cout << "\nFault records:\n";

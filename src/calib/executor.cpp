@@ -1,0 +1,251 @@
+#include "calib/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace speccal::calib {
+
+namespace {
+
+/// Reject graphs the executor cannot drain, before any thread spawns:
+/// tasks with no body, and dependency cycles (Kahn's algorithm — if the
+/// zero-prerequisite frontier can't reach every task, some subset is
+/// mutually blocked).
+void validate_graph(const TaskGraph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::size_t> remaining(n);
+  std::vector<TaskGraph::TaskId> frontier;
+  for (TaskGraph::TaskId id = 0; id < n; ++id) {
+    if (!graph.body(id))
+      throw std::invalid_argument("StageExecutor: task '" + graph.label(id) +
+                                  "' has no body");
+    remaining[id] = graph.prerequisite_count(id);
+    if (remaining[id] == 0) frontier.push_back(id);
+  }
+  std::size_t drained = 0;
+  while (!frontier.empty()) {
+    const TaskGraph::TaskId id = frontier.back();
+    frontier.pop_back();
+    ++drained;
+    for (const TaskGraph::TaskId succ : graph.successors(id))
+      if (--remaining[succ] == 0) frontier.push_back(succ);
+  }
+  if (drained != n)
+    throw std::invalid_argument(
+        "StageExecutor: task graph has a dependency cycle");
+}
+
+void record_failure(ExecutorStats& stats, const char* what) {
+  ++stats.tasks_failed;
+  if (stats.first_error.empty()) stats.first_error = what;
+}
+
+/// Run one task body, tracing and failure-counting. Returns nothing the
+/// scheduler cares about: failures are counted, never propagated, so the
+/// graph always drains.
+void execute_task(const TaskGraph& graph, TaskGraph::TaskId id,
+                  obs::TraceSession* trace, bool stolen, ExecutorStats& stats) {
+  obs::Span span;
+  if (trace != nullptr) {
+    span = obs::Span(trace, graph.label(id), "task");
+    if (stolen) span.arg("stolen", static_cast<std::int64_t>(1));
+  }
+  ++stats.tasks_run;
+  if (stolen) ++stats.tasks_stolen;
+  try {
+    graph.body(id)();
+  } catch (const std::exception& e) {
+    record_failure(stats, e.what());
+    if (span.active()) span.arg("error", e.what());
+  } catch (...) {
+    record_failure(stats, "unknown exception");
+    if (span.active()) span.arg("error", "unknown exception");
+  }
+}
+
+}  // namespace
+
+StageExecutor::StageExecutor(ExecutorConfig config) : config_(config) {}
+
+unsigned StageExecutor::effective_threads(std::size_t tasks) const noexcept {
+  unsigned threads = config_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  const std::size_t cap = tasks > 0 ? tasks : 1;
+  if (threads > cap) threads = static_cast<unsigned>(cap);
+  return threads;
+}
+
+ExecutorStats StageExecutor::run_inline(const TaskGraph& graph) {
+  ExecutorStats stats;
+  stats.threads_used = 1;
+  const std::size_t n = graph.size();
+  std::vector<std::size_t> remaining(n);
+  // LIFO stack, roots pushed in reverse id order: the lowest-id root runs
+  // first and its subgraph is explored depth-first, which on the fleet graph
+  // reproduces the serial per-node stage order exactly.
+  std::vector<TaskGraph::TaskId> stack;
+  for (TaskGraph::TaskId id = n; id-- > 0;) {
+    remaining[id] = graph.prerequisite_count(id);
+    if (remaining[id] == 0) stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const TaskGraph::TaskId id = stack.back();
+    stack.pop_back();
+    execute_task(graph, id, config_.trace, /*stolen=*/false, stats);
+    const auto& succs = graph.successors(id);
+    for (std::size_t k = succs.size(); k-- > 0;) {
+      if (--remaining[succs[k]] == 0) stack.push_back(succs[k]);
+    }
+  }
+  return stats;
+}
+
+ExecutorStats StageExecutor::run(const TaskGraph& graph) {
+  validate_graph(graph);
+  obs::Registry::global().counter("speccal_executor_runs_total").add();
+
+  const unsigned threads = effective_threads(graph.size());
+  ExecutorStats stats;
+  if (graph.empty()) {
+    stats.threads_used = threads;
+  } else if (threads <= 1) {
+    stats = run_inline(graph);
+  } else {
+    const std::size_t n = graph.size();
+
+    struct Worker {
+      std::mutex mutex;
+      std::deque<TaskGraph::TaskId> queue;  // back = owner end, front = steal end
+      ExecutorStats tally;
+    };
+    auto workers = std::make_unique<Worker[]>(threads);
+
+    std::vector<std::atomic<std::size_t>> remaining(n);
+    std::atomic<std::size_t> tasks_left{n};
+    std::atomic<bool> finished{false};
+    std::mutex cv_mutex;
+    std::condition_variable cv;
+    std::size_t wake_epoch = 0;  // guarded by cv_mutex
+
+    // Deal the roots round-robin so every worker starts with local work.
+    std::size_t next_worker = 0;
+    for (TaskGraph::TaskId id = 0; id < n; ++id) {
+      remaining[id].store(graph.prerequisite_count(id),
+                          std::memory_order_relaxed);
+      if (graph.prerequisite_count(id) == 0) {
+        workers[next_worker % threads].queue.push_back(id);
+        ++next_worker;
+      }
+    }
+
+    auto worker_loop = [&](unsigned self) {
+      Worker& me = workers[self];
+      for (;;) {
+        TaskGraph::TaskId id = 0;
+        bool have = false;
+        bool stolen = false;
+        {
+          std::lock_guard<std::mutex> lock(me.mutex);
+          if (!me.queue.empty()) {
+            id = me.queue.back();
+            me.queue.pop_back();
+            have = true;
+          }
+        }
+        if (!have) {
+          // Steal from the front (oldest, most independent work) of the
+          // first non-empty victim, scanning from our right neighbour.
+          for (unsigned hop = 1; hop < threads && !have; ++hop) {
+            Worker& victim = workers[(self + hop) % threads];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.queue.empty()) {
+              id = victim.queue.front();
+              victim.queue.pop_front();
+              have = true;
+              stolen = true;
+            }
+          }
+        }
+        if (!have) {
+          std::unique_lock<std::mutex> lock(cv_mutex);
+          if (finished.load(std::memory_order_acquire)) return;
+          const std::size_t epoch = wake_epoch;
+          lock.unlock();
+          // Recheck all queues after snapshotting the epoch: an enqueue that
+          // raced our scan bumped the epoch, so the wait below won't block.
+          bool any = false;
+          for (unsigned w = 0; w < threads && !any; ++w) {
+            std::lock_guard<std::mutex> qlock(workers[w].mutex);
+            any = !workers[w].queue.empty();
+          }
+          if (any) continue;
+          lock.lock();
+          if (finished.load(std::memory_order_acquire)) return;
+          if (wake_epoch == epoch) cv.wait(lock);
+          continue;
+        }
+
+        execute_task(graph, id, config_.trace, stolen, me.tally);
+
+        // Release ready successors to our own back (LIFO), then publish.
+        std::size_t released = 0;
+        {
+          std::lock_guard<std::mutex> lock(me.mutex);
+          for (const TaskGraph::TaskId succ : graph.successors(id)) {
+            if (remaining[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              me.queue.push_back(succ);
+              ++released;
+            }
+          }
+        }
+        if (released > 0) {
+          std::lock_guard<std::mutex> lock(cv_mutex);
+          ++wake_epoch;
+          cv.notify_all();
+        }
+        if (tasks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(cv_mutex);
+          finished.store(true, std::memory_order_release);
+          cv.notify_all();
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker_loop, t);
+    for (std::thread& t : pool) t.join();
+
+    stats.threads_used = threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const ExecutorStats& tally = workers[t].tally;
+      stats.tasks_run += tally.tasks_run;
+      stats.tasks_stolen += tally.tasks_stolen;
+      stats.tasks_failed += tally.tasks_failed;
+      if (stats.first_error.empty() && !tally.first_error.empty())
+        stats.first_error = tally.first_error;
+    }
+  }
+
+  auto& registry = obs::Registry::global();
+  registry.counter("speccal_executor_tasks_total").add(stats.tasks_run);
+  if (stats.tasks_stolen > 0)
+    registry.counter("speccal_executor_steals_total").add(stats.tasks_stolen);
+  if (stats.tasks_failed > 0)
+    registry.counter("speccal_executor_failures_total").add(stats.tasks_failed);
+  return stats;
+}
+
+}  // namespace speccal::calib

@@ -1,8 +1,10 @@
 #include "calib/fleet.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -11,8 +13,25 @@
 
 namespace speccal::calib {
 
+namespace {
+
+PipelineConfig validate_and_resolve(const RunConfig& run) {
+  run.validate();
+  return run.resolved_pipeline();
+}
+
+}  // namespace
+
 FleetCalibrator::FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config)
     : pipeline_(std::move(pipeline)), config_(std::move(config)) {}
+
+FleetCalibrator::FleetCalibrator(WorldModel world, RunConfig run,
+                                 FleetConfig fleet)
+    : pipeline_(std::move(world), validate_and_resolve(run)),
+      config_(std::move(fleet)) {
+  if (run.executor.threads != 0) config_.threads = run.executor.threads;
+  if (config_.trace == nullptr) config_.trace = run.executor.trace;
+}
 
 unsigned FleetCalibrator::effective_threads(std::size_t jobs) const noexcept {
   unsigned threads = config_.threads;
@@ -30,13 +49,34 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
   if (jobs.empty()) return summary;
 
   obs::Registry::global().counter("speccal_fleet_batches_total").add();
+  const unsigned threads = effective_threads(jobs.size());
   obs::Span run_span(config_.trace, "fleet_run", "fleet");
   run_span.arg("jobs", static_cast<std::int64_t>(jobs.size()));
-  run_span.arg("threads",
-               static_cast<std::int64_t>(effective_threads(jobs.size())));
+  run_span.arg("threads", static_cast<std::int64_t>(threads));
 
   const auto t0 = clock::now();
-  std::atomic<std::size_t> next{0};
+
+  // Per-node mutable state, owned here so task closures can capture raw
+  // references. `failed` is the only field two stage tasks of one node can
+  // touch concurrently (e.g. fov ∥ cell_scan both racing to report an
+  // error): the first CAS winner writes `error`, everyone else only reads
+  // the flag. `skipped`/`plan`/`device` are written by the acquire task,
+  // which every other task of the node orders after via graph edges.
+  struct NodeState {
+    std::unique_ptr<sdr::Device> device;
+    CalibrationReport report;
+    std::optional<NodeTaskSet> plan;
+    std::atomic<bool> failed{false};
+    std::string error;
+    bool skipped = false;
+  };
+  std::vector<NodeState> states(jobs.size());
+  const auto fail = [](NodeState& st, std::string what) {
+    bool expected = false;
+    if (st.failed.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+      st.error = std::move(what);
+  };
 
   // Guards the batch bookkeeping below and serializes the progress callback.
   std::mutex book_mutex;
@@ -44,91 +84,128 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
   std::vector<StageMetrics> fleet_metrics;
   fleet_metrics.reserve(jobs.size());
 
-  auto worker = [&]() {
-    for (;;) {
-      if (cancel_.load(std::memory_order_relaxed)) break;
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= jobs.size()) break;
-      FleetJob& job = jobs[index];
+  const std::vector<StageSpec> specs = pipeline_.stage_plan();
 
-      CalibrationReport report;
-      std::string error;
-      {
-        // Node span on this worker's track; the stage spans emitted by the
-        // pipeline nest inside it by time containment. Ends (and records)
-        // even when the device throws.
-        obs::Span node_span(config_.trace, job.claims.node_id, "node");
-        try {
-          if (!job.make_device)
-            throw std::invalid_argument("fleet job carries no device factory");
-          const std::unique_ptr<sdr::Device> device = job.make_device();
-          if (device == nullptr)
-            throw std::runtime_error("device factory returned null");
-          pipeline_.calibrate_into(*device, job.claims, report, config_.trace);
-        } catch (const std::exception& e) {
-          error = e.what();
-        } catch (...) {
-          error = "unknown exception during calibration";
-        }
-        node_span.arg("ok", error.empty());
-        if (!error.empty()) node_span.arg("error", error);
-      }
-      obs::Registry::global().counter("speccal_fleet_nodes_total").add();
-      if (!error.empty()) {
-        obs::Registry::global().counter("speccal_fleet_aborts_total").add();
-        // Failure isolation: the node still gets a (flagged, zero-trust)
-        // report; the batch carries on.
-        report.claims = job.claims;
-        report.abort_reason = error;
-        report.trust.score = 0.0;
-        report.trust.findings.push_back(
-            {Severity::kViolation, "calibration aborted: " + error});
-      }
+  // One subgraph per node: acquire -> stage tasks (stage_plan edges) ->
+  // finalize. The admission window chains acquire_i after
+  // finalize_{i - 2*threads}: at most ~2 devices per worker are ever live,
+  // cancellation (checked in acquire) takes effect promptly, and the
+  // executor still always has a window's worth of nodes to interleave.
+  TaskGraph graph;
+  std::vector<TaskGraph::TaskId> finalize_ids(jobs.size());
+  const std::size_t admit_window = std::size_t{2} * threads;
 
-      const StageMetrics metrics = report.metrics;
-      const bool ok = error.empty();
-      const bool node_quarantined = report.quarantined();
-      bool node_recovered = false;
-      for (const FaultRecord& fr : report.fault_records)
-        if (fr.outcome == FaultOutcome::kRecovered) node_recovered = true;
-      if (node_quarantined)
-        obs::Registry::global()
-            .counter("speccal_fault_quarantined_nodes_total")
-            .add();
-      registry.record(std::move(report));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    FleetJob& job = jobs[i];
+    NodeState& st = states[i];
 
-      {
-        const std::scoped_lock lock(book_mutex);
-        ++completed;
-        fleet_metrics.push_back(metrics);
-        if (!ok) {
-          ++summary.failed;
-          summary.failures.push_back({job.claims.node_id, error});
-        }
-        if (node_quarantined) ++summary.quarantined;
-        if (node_recovered && !node_quarantined) ++summary.recovered;
-        if (config_.on_progress) {
-          FleetProgress progress;
-          progress.completed = completed;
-          progress.total = jobs.size();
-          progress.node_id = job.claims.node_id;
-          progress.ok = ok;
-          progress.quarantined = node_quarantined;
-          config_.on_progress(progress);
-        }
-      }
+    const TaskGraph::TaskId acquire = graph.add(
+        job.claims.node_id + "/acquire", [this, &job, &st, &fail] {
+          if (cancel_.load(std::memory_order_relaxed)) {
+            st.skipped = true;
+            return;
+          }
+          try {
+            if (!job.make_device)
+              throw std::invalid_argument("fleet job carries no device factory");
+            st.device = job.make_device();
+            if (st.device == nullptr)
+              throw std::runtime_error("device factory returned null");
+            st.plan.emplace(
+                pipeline_.plan(*st.device, job.claims, st.report, config_.trace));
+          } catch (const std::exception& e) {
+            fail(st, e.what());
+          } catch (...) {
+            fail(st, "unknown exception during calibration");
+          }
+        });
+    if (i >= admit_window) graph.depends(acquire, finalize_ids[i - admit_window]);
+
+    std::array<TaskGraph::TaskId, kStageCount> stage_ids{};
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      const StageSpec& spec = specs[k];
+      const TaskGraph::TaskId tid = graph.add(
+          job.claims.node_id + "/" + to_string(spec.stage), [&st, &fail, k] {
+            if (st.skipped || !st.plan ||
+                st.failed.load(std::memory_order_acquire))
+              return;
+            try {
+              st.plan->tasks()[k].run();
+            } catch (const std::exception& e) {
+              fail(st, e.what());
+            } catch (...) {
+              fail(st, "unknown exception during calibration");
+            }
+          });
+      stage_ids[static_cast<std::size_t>(spec.stage)] = tid;
+      graph.depends(tid, acquire);
+      for (const Stage dep : spec.deps)
+        graph.depends(tid, stage_ids[static_cast<std::size_t>(dep)]);
     }
-  };
 
-  const unsigned threads = effective_threads(jobs.size());
-  if (threads <= 1) {
-    worker();  // serial fallback: no thread spawned, deterministic order
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    finalize_ids[i] = graph.add(
+        job.claims.node_id + "/finalize",
+        [&job, &st, &registry, &book_mutex, &completed, &fleet_metrics,
+         &summary, &config = config_, total = jobs.size()] {
+          if (st.skipped) {
+            st.plan.reset();
+            st.device.reset();
+            return;
+          }
+          const bool ok = !st.failed.load(std::memory_order_acquire);
+          if (st.plan) st.plan->finalize(/*aborted=*/!ok);
+          obs::Registry::global().counter("speccal_fleet_nodes_total").add();
+          if (!ok) {
+            obs::Registry::global().counter("speccal_fleet_aborts_total").add();
+            // Failure isolation: the node still gets a (flagged, zero-trust)
+            // report; the batch carries on.
+            st.report.claims = job.claims;
+            st.report.abort_reason = st.error;
+            st.report.trust.score = 0.0;
+            st.report.trust.findings.push_back(
+                {Severity::kViolation, "calibration aborted: " + st.error});
+          }
+
+          const StageMetrics metrics = st.report.metrics;
+          const bool node_quarantined = st.report.quarantined();
+          bool node_recovered = false;
+          for (const FaultRecord& fr : st.report.fault_records)
+            if (fr.outcome == FaultOutcome::kRecovered) node_recovered = true;
+          if (node_quarantined)
+            obs::Registry::global()
+                .counter("speccal_fault_quarantined_nodes_total")
+                .add();
+          registry.record(std::move(st.report));
+          st.plan.reset();
+          st.device.reset();
+
+          const std::scoped_lock lock(book_mutex);
+          ++completed;
+          fleet_metrics.push_back(metrics);
+          if (!ok) {
+            ++summary.failed;
+            summary.failures.push_back({job.claims.node_id, st.error});
+          }
+          if (node_quarantined) ++summary.quarantined;
+          if (node_recovered && !node_quarantined) ++summary.recovered;
+          if (config.on_progress) {
+            FleetProgress progress;
+            progress.completed = completed;
+            progress.total = total;
+            progress.node_id = job.claims.node_id;
+            progress.ok = ok;
+            progress.quarantined = node_quarantined;
+            config.on_progress(progress);
+          }
+        });
+    graph.depends(finalize_ids[i], acquire);
+    for (std::size_t k = 0; k < specs.size(); ++k)
+      graph.depends(finalize_ids[i],
+                    stage_ids[static_cast<std::size_t>(specs[k].stage)]);
   }
+
+  StageExecutor executor(ExecutorConfig{threads, config_.trace});
+  summary.executor = executor.run(graph);
 
   summary.calibrated = completed;
   summary.skipped = jobs.size() - completed;

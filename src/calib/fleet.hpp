@@ -2,17 +2,24 @@
 //
 // Electrosense-class deployments calibrate hundreds of nodes against the
 // same world model; one node at a time does not cut it. FleetCalibrator
-// runs N calibrations concurrently over a job queue:
+// builds one stage-task subgraph per node (acquire -> pipeline stages ->
+// finalize, edges from CalibrationPipeline::stage_plan()) and runs the
+// whole batch through a work-stealing StageExecutor, so short stages of
+// one node interleave with another node's long tv_sweep:
 //   * each job carries a device *factory*, invoked on the worker thread
-//     that picks the job up, so no device state is ever shared and
-//     per-node RNG seeding keeps parallel output bitwise-identical to a
-//     serial run;
-//   * a failure in one node (device exception, factory error) is captured
-//     into that node's report (`CalibrationReport::abort_reason`, trust 0)
-//     and never takes down the batch;
+//     that claims the node's acquire task, so no device state is ever
+//     shared, and per-node RNG seeding keeps parallel output
+//     bitwise-identical to a serial run;
+//   * a failure in one node (device exception, factory error) marks that
+//     node's state; its remaining stage tasks turn into no-ops and its
+//     finalize task records a flagged report (abort_reason, trust 0) —
+//     one broken node never takes down the batch;
 //   * results land in the thread-safe NodeRegistry as they complete, so
 //     readers can watch the fleet fill in;
-//   * cancellation drains the queue after in-flight nodes finish.
+//   * cancellation is checked at node admission (the acquire task), so
+//     queued jobs drain as skips after in-flight nodes finish;
+//   * an admission window (2× threads) bounds how many devices are live
+//     at once regardless of fleet size.
 #pragma once
 
 #include <atomic>
@@ -22,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "calib/executor.hpp"
 #include "calib/metrics.hpp"
 #include "calib/pipeline.hpp"
+#include "calib/runconfig.hpp"
 
 namespace speccal::obs {
 class TraceSession;
@@ -50,15 +59,19 @@ struct FleetProgress {
 };
 
 struct FleetConfig {
-  /// Worker threads. 0 = hardware concurrency; 1 = serial fallback, runs
-  /// every job inline on the calling thread without spawning.
+  /// Deprecated alias for RunConfig::executor.threads (kept so brace-init
+  /// call sites compile unchanged; a non-zero RunConfig value wins).
+  /// 0 = hardware concurrency; 1 = inline deterministic execution on the
+  /// calling thread without spawning.
   unsigned threads = 0;
   std::function<void(const FleetProgress&)> on_progress;
   /// Optional trace collector (caller-owned, must outlive run()). When set,
-  /// each run() records a root "fleet_run" span, one span per node (named
-  /// by its node id, on the worker thread's track) and one nested span per
-  /// pipeline stage — the Chrome-trace export drops into Perfetto. Null
-  /// disables tracing at zero cost.
+  /// each run() records a root "fleet_run" span, one "task" span per graph
+  /// task (acquire/stage/finalize, labelled "<node>/<stage>", on the worker
+  /// thread that ran it, with a "stolen" flag) and one "stage" span per
+  /// pipeline stage nested inside its task by time containment — the
+  /// Chrome-trace export drops into Perfetto. Null disables tracing at
+  /// zero cost.
   obs::TraceSession* trace = nullptr;
 };
 
@@ -79,11 +92,22 @@ struct FleetSummary {
   double nodes_per_s = 0.0;
   std::vector<FleetFailure> failures;
   FleetStageStats stage_stats;
+  /// What the stage-graph executor did for this batch (threads used, tasks
+  /// run/stolen/failed). tasks_run always covers the whole graph — skipped
+  /// nodes still execute their (no-op) tasks, so no task is ever orphaned.
+  ExecutorStats executor;
 };
 
 class FleetCalibrator {
  public:
   explicit FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config = {});
+
+  /// Task-oriented entry point: build the pipeline from `world` and a
+  /// validated RunConfig (throws std::invalid_argument, naming the field,
+  /// on bad values). RunConfig::executor.threads overrides the deprecated
+  /// FleetConfig::threads alias when non-zero; RunConfig::executor.trace
+  /// fills FleetConfig::trace when the latter is null.
+  FleetCalibrator(WorldModel world, RunConfig run, FleetConfig fleet = {});
 
   /// Calibrate every job, recording each report into `registry` as it
   /// completes. Blocks until the batch finishes (or cancellation drains

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "dsp/plan.hpp"
 #include "tv/channels.hpp"
 
 namespace speccal::calib {

@@ -1,6 +1,7 @@
 #include "calib/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -23,200 +24,48 @@ static_assert(std::is_copy_constructible_v<PipelineConfig>);
 CalibrationPipeline::CalibrationPipeline(WorldModel world, PipelineConfig config)
     : world_(std::move(world)), config_(config) {}
 
-CalibrationReport CalibrationPipeline::calibrate(sdr::Device& device,
-                                                 const NodeClaims& claims,
-                                                 obs::TraceSession* trace) const {
-  CalibrationReport report;
-  calibrate_into(device, claims, report, trace);
-  return report;
+// Everything a node's stage tasks share. Owned by the NodeTaskSet; tasks
+// capture it by raw pointer, so the set must outlive every task execution.
+// Fault records are segregated per stage (stages of one node may run on
+// different threads under the executor) and merged by finalize() in stage
+// enum order — exactly the order the serial pipeline appended them.
+struct NodeTaskSet::Context {
+  const CalibrationPipeline* pipeline = nullptr;
+  sdr::Device* device = nullptr;
+  CalibrationReport* report = nullptr;
+  obs::TraceSession* trace = nullptr;
+  sdr::RxEnvironment rx;
+  sdr::RxEnvironment clear;
+  double tv_noise_dbm = 0.0;
+  std::vector<BandMeasurement> cell_measurements;
+  std::vector<BandMeasurement> tv_measurements;
+  std::array<std::vector<FaultRecord>, kStageCount> records;
+  bool finalized = false;
+};
+
+NodeTaskSet::NodeTaskSet() : ctx_(std::make_unique<Context>()) {}
+NodeTaskSet::NodeTaskSet(NodeTaskSet&&) noexcept = default;
+NodeTaskSet& NodeTaskSet::operator=(NodeTaskSet&&) noexcept = default;
+NodeTaskSet::~NodeTaskSet() = default;
+
+void NodeTaskSet::run_all() {
+  try {
+    for (const Task& task : tasks_) task.run();
+  } catch (...) {
+    finalize(/*aborted=*/true);  // keep fault records gathered before the abort
+    throw;
+  }
+  finalize(/*aborted=*/false);
 }
 
-void CalibrationPipeline::calibrate_into(sdr::Device& device,
-                                         const NodeClaims& claims,
-                                         CalibrationReport& report,
-                                         obs::TraceSession* trace) const {
-  report = CalibrationReport{};
-  report.claims = claims;
-  obs::Registry::global().counter("speccal_calib_runs_total").add();
-
-  // Receiver surroundings: simulation-backed devices expose their ground
-  // truth through the SimControl capability; real hardware contributes its
-  // position only, and the model-level expectations below then assume an
-  // unobstructed site.
-  sdr::RxEnvironment rx;
-  if (sdr::SimControl* sim = device.sim_control()) rx = sim->rx_environment();
-  else rx.position = device.position();
-  // Clear-sky twin of this receiver: same place/antenna, no obstructions.
-  sdr::RxEnvironment clear = rx;
-  clear.obstructions = nullptr;
-  clear.fading = nullptr;
-
-  // Stage bodies run under the retry policy: each attempt starts from the
-  // stage's reset closure, so a retried (or quarantined) stage never leaks
-  // a partial attempt into the report. With the default passthrough policy
-  // the runner is a plain call and exceptions propagate exactly as before.
-  RetryRunner runner(config_.retry, claims.node_id, device, trace);
-
-  // --- 1. ADS-B directional survey --------------------------------------
-  if (world_.sky) {
-    StageTimer timer(report.metrics, Stage::kSurvey, trace, claims.node_id);
-    runner.run(
-        Stage::kSurvey, report.fault_records,
-        [&] {
-          report.survey = SurveyResult{};
-          report.metrics.at(Stage::kSurvey) = StageSample{};
-        },
-        [&] {
-          airtraffic::GroundTruthService gt(*world_.sky,
-                                            world_.ground_truth_latency_s);
-          AdsbSurvey survey(config_.survey);
-          report.survey = survey.run(device, *world_.sky, gt);
-          StageSample& sample = report.metrics.at(Stage::kSurvey);
-          sample.frames_decoded = report.survey.total_frames_decoded;
-          if (config_.survey.fidelity == Fidelity::kWaveform)
-            sample.samples_captured = static_cast<std::uint64_t>(
-                config_.survey.duration_s * adsb::kPpmSampleRateHz);
-        });
-  }
-  {
-    StageTimer timer(report.metrics, Stage::kFov, trace, claims.node_id);
-    runner.run(
-        Stage::kFov, report.fault_records, [&] { report.fov = FovEstimate{}; },
-        [&] {
-          report.fov = config_.use_knn_fov
-                           ? estimate_fov_knn(report.survey, config_.fov)
-                           : estimate_fov_sectors(report.survey, config_.fov);
-        });
-  }
-
-  // --- 2. Cellular scan ---------------------------------------------------
-  std::vector<BandMeasurement> cell_measurements;
-  {
-    StageTimer cell_timer(report.metrics, Stage::kCellScan, trace, claims.node_id);
-    runner.run(
-        Stage::kCellScan, report.fault_records,
-        [&] {
-          report.cell_scan.clear();
-          cell_measurements.clear();
-        },
-        [&] {
-          cellular::CellScanner scanner(config_.cell_scan);
-          const auto nearby =
-              world_.cells.near(rx.position, config_.cell_search_radius_m);
-          report.cell_scan =
-              scanner.scan(nearby, rx, device.info().frontend_loss_db);
-          for (const auto& meas : report.cell_scan) {
-            const auto expected = scanner.measure(meas.cell, clear);
-            BandMeasurement bm;
-            bm.kind = SignalKind::kCellular;
-            std::ostringstream label;
-            label << meas.cell.operator_name << " B" << meas.cell.band << " ("
-                  << meas.cell.dl_freq_hz / 1e6 << " MHz)";
-            bm.source_label = label.str();
-            bm.freq_hz = meas.cell.dl_freq_hz;
-            bm.expected_dbm = expected.rsrp_dbm;
-            if (meas.decoded) bm.measured_dbm = meas.rsrp_dbm;
-            bm.azimuth_deg = geo::bearing_deg(rx.position, meas.cell.position);
-            cell_measurements.push_back(std::move(bm));
-          }
-        });
-  }
-
-  // --- 3. Broadcast TV sweep ----------------------------------------------
-  std::vector<BandMeasurement> tv_measurements;
-  const double tv_noise_dbm = prop::noise_floor_dbm(
-      config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
-  {
-    StageTimer tv_timer(report.metrics, Stage::kTvSweep, trace, claims.node_id);
-    runner.run(
-        Stage::kTvSweep, report.fault_records,
-        [&] {
-          report.tv_readings.clear();
-          tv_measurements.clear();
-          report.metrics.at(Stage::kTvSweep) = StageSample{};
-        },
-        [&] {
-          tv::PowerMeter meter(config_.tv_meter);
-          for (const auto& emitter : world_.tv_channels) {
-            const auto channel = tv::channel_for_frequency(emitter.carrier_hz);
-            if (!channel) continue;
-            const auto reading = meter.measure_channel(device, *channel);
-            report.metrics.at(Stage::kTvSweep).samples_captured +=
-                reading.samples_used;
-            report.tv_readings.push_back(reading);
-
-            // Clear-sky expectation straight from the link budget.
-            sdr::FixedEmitterSource probe(emitter, util::Rng(1));
-            BandMeasurement bm;
-            bm.kind = SignalKind::kTv;
-            std::ostringstream label;
-            label << "TV ch " << *channel << " (" << emitter.carrier_hz / 1e6
-                  << " MHz)";
-            bm.source_label = label.str();
-            bm.freq_hz = emitter.carrier_hz;
-            bm.expected_dbm = probe.received_power_dbm(clear);
-            if (reading.tune_ok &&
-                reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
-              bm.measured_dbm = reading.power_dbm;
-            bm.azimuth_deg = geo::bearing_deg(rx.position, emitter.position);
-            tv_measurements.push_back(std::move(bm));
-          }
-        });
-  }
-
-  // --- 4. Fuse, classify, verify -------------------------------------------
-  {
-    StageTimer timer(report.metrics, Stage::kFuse, trace, claims.node_id);
-    runner.run(
-        Stage::kFuse, report.fault_records,
-        [&] {
-          report.frequency_response = FrequencyResponseReport{};
-          report.classification = Classification{};
-          report.trust = TrustReport{};
-          report.hardware = HardwareDiagnosis{};
-        },
-        [&] {
-          std::vector<BandMeasurement> measurements;
-          measurements.reserve(cell_measurements.size() + tv_measurements.size());
-          measurements.insert(measurements.end(), cell_measurements.begin(),
-                              cell_measurements.end());
-          measurements.insert(measurements.end(), tv_measurements.begin(),
-                              tv_measurements.end());
-          report.frequency_response = evaluate_frequency_response(
-              std::move(measurements), config_.freqresp);
-          report.classification = classify_installation(
-              report.fov, report.frequency_response, config_.classifier);
-          report.trust = evaluate_trust(claims, report.survey, report.fov,
-                                        report.frequency_response,
-                                        report.classification, config_.trust);
-
-          // --- 5. Hardware separation -----------------------------------
-          report.hardware = diagnose_hardware(report.frequency_response,
-                                              report.fov, config_.hardware);
-        });
-  }
-  if (config_.run_lo_calibration) {
-    StageTimer timer(report.metrics, Stage::kLoCal, trace, claims.node_id);
-    runner.run(
-        Stage::kLoCal, report.fault_records,
-        [&] {
-          report.lo_calibration = LoCalibrationResult{};
-          report.metrics.at(Stage::kLoCal) = StageSample{};
-        },
-        [&] {
-          // Only pilot-hunt on channels the sweep showed as receivable.
-          std::vector<int> receivable;
-          for (const auto& reading : report.tv_readings)
-            if (reading.tune_ok &&
-                reading.power_dbm > tv_noise_dbm + config_.tv_detect_margin_db)
-              receivable.push_back(reading.rf_channel);
-          report.lo_calibration = calibrate_lo(device, receivable, config_.lo);
-          report.metrics.at(Stage::kLoCal).samples_captured +=
-              static_cast<std::uint64_t>(report.lo_calibration.pilots.size()) *
-              static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
-                                         config_.lo.capture_duration_s);
-        });
-  }
+void NodeTaskSet::finalize(bool aborted) {
+  if (ctx_->finalized) return;
+  ctx_->finalized = true;
+  CalibrationReport& report = *ctx_->report;
+  for (auto& stage_records : ctx_->records)
+    for (FaultRecord& fr : stage_records)
+      report.fault_records.push_back(std::move(fr));
+  if (aborted) return;
 
   // Quarantined stages feed back into trust: the marketplace must see a
   // node that could not complete a stage as strictly less dependable.
@@ -231,6 +80,263 @@ void CalibrationPipeline::calibrate_into(sdr::Device& device,
   }
   for (std::size_t i = 0; i < quarantined_stages; ++i)
     report.trust.score *= 0.5;  // each lost stage halves the trust score
+}
+
+CalibrationReport CalibrationPipeline::calibrate(sdr::Device& device,
+                                                 const NodeClaims& claims,
+                                                 obs::TraceSession* trace) const {
+  CalibrationReport report;
+  calibrate_into(device, claims, report, trace);
+  return report;
+}
+
+void CalibrationPipeline::calibrate_into(sdr::Device& device,
+                                         const NodeClaims& claims,
+                                         CalibrationReport& report,
+                                         obs::TraceSession* trace) const {
+  plan(device, claims, report, trace).run_all();
+}
+
+std::vector<StageSpec> CalibrationPipeline::stage_plan() const {
+  // Device-touching stages (survey, cell_scan, tv_sweep, lo_cal) form a
+  // dependency chain: sdr::Device is not thread-safe, and chaining them also
+  // pins the order of device I/O so parallel runs replay the exact serial
+  // capture sequence (the bitwise-determinism gate). Pure stages (fov, fuse)
+  // hang off their data inputs only.
+  std::vector<StageSpec> specs;
+  const bool have_sky = static_cast<bool>(world_.sky);
+  const std::vector<Stage> after_survey =
+      have_sky ? std::vector<Stage>{Stage::kSurvey} : std::vector<Stage>{};
+  if (have_sky) specs.push_back({Stage::kSurvey, /*uses_device=*/true, {}});
+  specs.push_back({Stage::kFov, /*uses_device=*/false, after_survey});
+  specs.push_back({Stage::kCellScan, /*uses_device=*/true, after_survey});
+  specs.push_back({Stage::kTvSweep, /*uses_device=*/true, {Stage::kCellScan}});
+  specs.push_back({Stage::kFuse, /*uses_device=*/false,
+                   {Stage::kFov, Stage::kCellScan, Stage::kTvSweep}});
+  if (config_.run_lo_calibration)
+    specs.push_back({Stage::kLoCal, /*uses_device=*/true, {Stage::kTvSweep}});
+  return specs;
+}
+
+NodeTaskSet CalibrationPipeline::plan(sdr::Device& device,
+                                      const NodeClaims& claims,
+                                      CalibrationReport& report,
+                                      obs::TraceSession* trace) const {
+  report = CalibrationReport{};
+  report.claims = claims;
+  obs::Registry::global().counter("speccal_calib_runs_total").add();
+
+  NodeTaskSet set;
+  NodeTaskSet::Context* ctx = set.ctx_.get();
+  ctx->pipeline = this;
+  ctx->device = &device;
+  ctx->report = &report;
+  ctx->trace = trace;
+
+  // Receiver surroundings: simulation-backed devices expose their ground
+  // truth through the SimControl capability; real hardware contributes its
+  // position only, and the model-level expectations below then assume an
+  // unobstructed site.
+  if (sdr::SimControl* sim = device.sim_control()) ctx->rx = sim->rx_environment();
+  else ctx->rx.position = device.position();
+  // Clear-sky twin of this receiver: same place/antenna, no obstructions.
+  ctx->clear = ctx->rx;
+  ctx->clear.obstructions = nullptr;
+  ctx->clear.fading = nullptr;
+  ctx->tv_noise_dbm = prop::noise_floor_dbm(
+      config_.tv_meter.measure_bandwidth_hz, device.info().noise_figure_db);
+
+  // Each task wraps its stage body in the same StageTimer + RetryRunner
+  // sandwich the serial pipeline used. Runners get the device only for
+  // device-touching stages, so a retried pure stage can never advance the
+  // simulated stream clock. Each attempt starts from the stage's reset
+  // closure, so a retried (or quarantined) stage never leaks a partial
+  // attempt into the report.
+  const auto make_task = [this, ctx](Stage stage, bool uses_device,
+                                     std::function<void()> reset,
+                                     std::function<void()> body) {
+    NodeTaskSet::Task task;
+    task.stage = stage;
+    task.run = [this, ctx, stage, uses_device, reset = std::move(reset),
+                body = std::move(body)] {
+      StageTimer timer(ctx->report->metrics, stage, ctx->trace,
+                       ctx->report->claims.node_id);
+      RetryRunner runner(config_.retry, ctx->report->claims.node_id,
+                         uses_device ? ctx->device : nullptr, ctx->trace);
+      runner.run(stage, ctx->records[static_cast<std::size_t>(stage)], reset,
+                 body);
+    };
+    return task;
+  };
+
+  for (const StageSpec& spec : stage_plan()) {
+    switch (spec.stage) {
+      case Stage::kSurvey:
+        // --- 1. ADS-B directional survey --------------------------------
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->survey = SurveyResult{};
+              ctx->report->metrics.at(Stage::kSurvey) = StageSample{};
+            },
+            [this, ctx] {
+              airtraffic::GroundTruthService gt(*world_.sky,
+                                                world_.ground_truth_latency_s);
+              AdsbSurvey survey(config_.survey);
+              ctx->report->survey = survey.run(*ctx->device, *world_.sky, gt);
+              StageSample& sample = ctx->report->metrics.at(Stage::kSurvey);
+              sample.frames_decoded = ctx->report->survey.total_frames_decoded;
+              if (config_.survey.fidelity == Fidelity::kWaveform)
+                sample.samples_captured = static_cast<std::uint64_t>(
+                    config_.survey.duration_s * adsb::kPpmSampleRateHz);
+            }));
+        break;
+      case Stage::kFov:
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] { ctx->report->fov = FovEstimate{}; },
+            [this, ctx] {
+              ctx->report->fov =
+                  config_.use_knn_fov
+                      ? estimate_fov_knn(ctx->report->survey, config_.fov)
+                      : estimate_fov_sectors(ctx->report->survey, config_.fov);
+            }));
+        break;
+      case Stage::kCellScan:
+        // --- 2. Cellular scan -------------------------------------------
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->cell_scan.clear();
+              ctx->cell_measurements.clear();
+            },
+            [this, ctx] {
+              cellular::CellScanner scanner(config_.cell_scan);
+              const auto nearby = world_.cells.near(ctx->rx.position,
+                                                    config_.cell_search_radius_m);
+              ctx->report->cell_scan = scanner.scan(
+                  nearby, ctx->rx, ctx->device->info().frontend_loss_db);
+              for (const auto& meas : ctx->report->cell_scan) {
+                const auto expected = scanner.measure(meas.cell, ctx->clear);
+                BandMeasurement bm;
+                bm.kind = SignalKind::kCellular;
+                std::ostringstream label;
+                label << meas.cell.operator_name << " B" << meas.cell.band
+                      << " (" << meas.cell.dl_freq_hz / 1e6 << " MHz)";
+                bm.source_label = label.str();
+                bm.freq_hz = meas.cell.dl_freq_hz;
+                bm.expected_dbm = expected.rsrp_dbm;
+                if (meas.decoded) bm.measured_dbm = meas.rsrp_dbm;
+                bm.azimuth_deg =
+                    geo::bearing_deg(ctx->rx.position, meas.cell.position);
+                ctx->cell_measurements.push_back(std::move(bm));
+              }
+            }));
+        break;
+      case Stage::kTvSweep:
+        // --- 3. Broadcast TV sweep --------------------------------------
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->tv_readings.clear();
+              ctx->tv_measurements.clear();
+              ctx->report->metrics.at(Stage::kTvSweep) = StageSample{};
+            },
+            [this, ctx] {
+              tv::PowerMeter meter(config_.tv_meter);
+              for (const auto& emitter : world_.tv_channels) {
+                const auto channel =
+                    tv::channel_for_frequency(emitter.carrier_hz);
+                if (!channel) continue;
+                const auto reading = meter.measure_channel(*ctx->device, *channel);
+                ctx->report->metrics.at(Stage::kTvSweep).samples_captured +=
+                    reading.samples_used;
+                ctx->report->tv_readings.push_back(reading);
+
+                // Clear-sky expectation straight from the link budget.
+                sdr::FixedEmitterSource probe(emitter, util::Rng(1));
+                BandMeasurement bm;
+                bm.kind = SignalKind::kTv;
+                std::ostringstream label;
+                label << "TV ch " << *channel << " ("
+                      << emitter.carrier_hz / 1e6 << " MHz)";
+                bm.source_label = label.str();
+                bm.freq_hz = emitter.carrier_hz;
+                bm.expected_dbm = probe.received_power_dbm(ctx->clear);
+                if (reading.tune_ok &&
+                    reading.power_dbm >
+                        ctx->tv_noise_dbm + config_.tv_detect_margin_db)
+                  bm.measured_dbm = reading.power_dbm;
+                bm.azimuth_deg =
+                    geo::bearing_deg(ctx->rx.position, emitter.position);
+                ctx->tv_measurements.push_back(std::move(bm));
+              }
+            }));
+        break;
+      case Stage::kFuse:
+        // --- 4. Fuse, classify, verify ----------------------------------
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->frequency_response = FrequencyResponseReport{};
+              ctx->report->classification = Classification{};
+              ctx->report->trust = TrustReport{};
+              ctx->report->hardware = HardwareDiagnosis{};
+            },
+            [this, ctx] {
+              CalibrationReport& report = *ctx->report;
+              std::vector<BandMeasurement> measurements;
+              measurements.reserve(ctx->cell_measurements.size() +
+                                   ctx->tv_measurements.size());
+              measurements.insert(measurements.end(),
+                                  ctx->cell_measurements.begin(),
+                                  ctx->cell_measurements.end());
+              measurements.insert(measurements.end(),
+                                  ctx->tv_measurements.begin(),
+                                  ctx->tv_measurements.end());
+              report.frequency_response = evaluate_frequency_response(
+                  std::move(measurements), config_.freqresp);
+              report.classification = classify_installation(
+                  report.fov, report.frequency_response, config_.classifier);
+              report.trust = evaluate_trust(report.claims, report.survey,
+                                            report.fov,
+                                            report.frequency_response,
+                                            report.classification,
+                                            config_.trust);
+
+              // --- 5. Hardware separation -------------------------------
+              report.hardware = diagnose_hardware(report.frequency_response,
+                                                  report.fov, config_.hardware);
+            }));
+        break;
+      case Stage::kLoCal:
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->lo_calibration = LoCalibrationResult{};
+              ctx->report->metrics.at(Stage::kLoCal) = StageSample{};
+            },
+            [this, ctx] {
+              // Only pilot-hunt on channels the sweep showed as receivable.
+              CalibrationReport& report = *ctx->report;
+              std::vector<int> receivable;
+              for (const auto& reading : report.tv_readings)
+                if (reading.tune_ok &&
+                    reading.power_dbm >
+                        ctx->tv_noise_dbm + config_.tv_detect_margin_db)
+                  receivable.push_back(reading.rf_channel);
+              report.lo_calibration =
+                  calibrate_lo(*ctx->device, receivable, config_.lo);
+              report.metrics.at(Stage::kLoCal).samples_captured +=
+                  static_cast<std::uint64_t>(
+                      report.lo_calibration.pilots.size()) *
+                  static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
+                                             config_.lo.capture_duration_s);
+            }));
+        break;
+    }
+  }
+  return set;
 }
 
 void CalibrationReport::write_json(std::ostream& os) const {

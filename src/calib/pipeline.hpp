@@ -4,6 +4,14 @@
 //   cellular scan + TV sweep -> frequency response
 //   fuse -> installation classification -> claim verification -> trust
 // One CalibrationReport per node; a NodeRegistry ranks the fleet.
+//
+// The pipeline exposes two granularities:
+//   calibrate()/calibrate_into() — run all stages serially (unchanged API).
+//   plan()                       — decompose one node's calibration into a
+//     NodeTaskSet of independent stage tasks with declared dependencies
+//     (stage_plan()), which the fleet engine wires into a TaskGraph so a
+//     StageExecutor can interleave stages across nodes. Both paths execute
+//     the same stage bodies; calibrate_into() is literally plan()+run_all().
 #pragma once
 
 #include <functional>
@@ -104,6 +112,61 @@ struct CalibrationReport {
   void write_json(std::ostream& os) const;
 };
 
+/// One entry of CalibrationPipeline::stage_plan(): a stage the pipeline
+/// will run for the current config, its declared prerequisites, and whether
+/// it touches the device. Stages with `uses_device` are additionally
+/// serialized against each other by the fleet engine (sdr::Device is not
+/// thread-safe), in declaration order.
+struct StageSpec {
+  Stage stage{};
+  bool uses_device = false;
+  std::vector<Stage> deps;
+};
+
+class CalibrationPipeline;
+
+/// One node's calibration, decomposed into runnable stage tasks. Created by
+/// CalibrationPipeline::plan(); move-only (tasks capture the internal
+/// context by pointer). Run every task (in any order consistent with
+/// stage_plan() dependencies — run_all() does it serially), then call
+/// finalize() exactly once to merge fault records and apply the
+/// quarantine-to-trust feedback. The device, report and trace session given
+/// to plan() must outlive the task set.
+class NodeTaskSet {
+ public:
+  struct Task {
+    Stage stage{};
+    std::function<void()> run;
+  };
+
+  NodeTaskSet(NodeTaskSet&&) noexcept;
+  NodeTaskSet& operator=(NodeTaskSet&&) noexcept;
+  NodeTaskSet(const NodeTaskSet&) = delete;
+  NodeTaskSet& operator=(const NodeTaskSet&) = delete;
+  ~NodeTaskSet();
+
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  /// Run every task in declaration order (the serial stage order), then
+  /// finalize. Exceptions propagate after a merge-only finalize, so fault
+  /// records gathered before the abort survive in the report.
+  void run_all();
+
+  /// Merge per-stage fault records into the report (stage-enum order, same
+  /// as the serial pipeline appended them) and — unless `aborted` — apply
+  /// the quarantine trust feedback. Call exactly once, after every task ran
+  /// (or after deciding to abandon the node).
+  void finalize(bool aborted = false);
+
+ private:
+  friend class CalibrationPipeline;
+  struct Context;
+  NodeTaskSet();
+
+  std::unique_ptr<Context> ctx_;
+  std::vector<Task> tasks_;
+};
+
 class CalibrationPipeline {
  public:
   CalibrationPipeline(WorldModel world, PipelineConfig config = {});
@@ -123,6 +186,21 @@ class CalibrationPipeline {
   void calibrate_into(sdr::Device& device, const NodeClaims& claims,
                       CalibrationReport& report,
                       obs::TraceSession* trace = nullptr) const;
+
+  /// Decompose one node's calibration into stage tasks. Resets `report`,
+  /// records the claims, and runs the (cheap) environment preamble
+  /// immediately; the returned tasks carry the per-stage work. Tasks for
+  /// the same node must respect stage_plan() dependencies but may otherwise
+  /// run on any thread; tasks of *different* plans are fully independent.
+  /// `device`, `report` and `trace` must outlive the returned set.
+  [[nodiscard]] NodeTaskSet plan(sdr::Device& device, const NodeClaims& claims,
+                                 CalibrationReport& report,
+                                 obs::TraceSession* trace = nullptr) const;
+
+  /// The stages plan() will emit for this config, in serial execution
+  /// order, with their dependencies. Mirrors the tasks of any plan() made
+  /// with the same config (index k of stage_plan() describes task k).
+  [[nodiscard]] std::vector<StageSpec> stage_plan() const;
 
   [[nodiscard]] const WorldModel& world() const noexcept { return world_; }
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }

@@ -24,6 +24,15 @@ std::uint64_t jitter_seed_for(std::uint64_t seed, std::string_view node_id) {
   return util::splitmix64(state);
 }
 
+/// Per-(node, stage) stream: chaining the stage index through another
+/// SplitMix64 round keeps each stage's jitter independent of how many other
+/// stages of the node faulted before it — required now that stages of one
+/// node can execute in any order (or concurrently) under the executor.
+std::uint64_t stage_jitter_seed(std::uint64_t node_seed, Stage stage) {
+  std::uint64_t state = node_seed ^ (static_cast<std::uint64_t>(stage) + 1);
+  return util::splitmix64(state);
+}
+
 }  // namespace
 
 const char* to_string(FaultOutcome outcome) noexcept {
@@ -36,18 +45,19 @@ const char* to_string(FaultOutcome outcome) noexcept {
 }
 
 RetryRunner::RetryRunner(const RetryPolicy& policy, std::string_view node_id,
-                         sdr::Device& device, obs::TraceSession* trace)
+                         sdr::Device* device, obs::TraceSession* trace)
     : policy_(policy),
       node_id_(node_id),
       device_(device),
       trace_(trace),
-      jitter_rng_(jitter_seed_for(policy.jitter_seed, node_id)) {}
+      node_seed_(jitter_seed_for(policy.jitter_seed, node_id)) {}
 
-double RetryRunner::next_backoff_s(int failed_attempt) noexcept {
+double RetryRunner::next_backoff_s(int failed_attempt,
+                                   util::Rng& jitter_rng) const noexcept {
   double backoff = policy_.initial_backoff_s *
                    std::pow(policy_.backoff_multiplier, failed_attempt - 1);
   if (policy_.jitter_fraction > 0.0)
-    backoff *= 1.0 + policy_.jitter_fraction * (2.0 * jitter_rng_.uniform() - 1.0);
+    backoff *= 1.0 + policy_.jitter_fraction * (2.0 * jitter_rng.uniform() - 1.0);
   return std::max(0.0, backoff);
 }
 
@@ -60,6 +70,7 @@ bool RetryRunner::run(Stage stage, std::vector<FaultRecord>& records,
     return true;
   }
 
+  util::Rng jitter_rng(stage_jitter_seed(node_seed_, stage));
   const auto stage_start = std::chrono::steady_clock::now();
   FaultRecord record;
   record.stage = stage;
@@ -114,17 +125,18 @@ bool RetryRunner::run(Stage stage, std::vector<FaultRecord>& records,
       return false;
     }
 
-    const double backoff_s = next_backoff_s(attempt);
+    const double backoff_s = next_backoff_s(attempt, jitter_rng);
     record.backoff_total_s += backoff_s;
     obs::Registry::global()
         .histogram("speccal_retry_backoff_ms", obs::default_duration_bounds_ms())
         .observe(backoff_s * 1e3);
     if (policy_.sleep_on_backoff) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
-    } else if (sdr::SimControl* sim = device_.sim_control()) {
+    } else if (device_ != nullptr) {
       // Simulated deployments: backoff consumes stream time, not wall time —
-      // deterministic, and the world genuinely moves on while we wait.
-      sim->advance_time(backoff_s);
+      // deterministic, and the world genuinely moves on while we wait. Pure
+      // stages (null device) advance nothing.
+      if (sdr::SimControl* sim = device_->sim_control()) sim->advance_time(backoff_s);
     }
   }
 }

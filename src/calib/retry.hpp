@@ -15,10 +15,12 @@
 // propagate): existing behaviour, to the bit. Chaos runs and hardware
 // deployments opt in via PipelineConfig::retry.
 //
-// Determinism contract (DESIGN.md §11): the backoff jitter stream is a
-// stable function of (jitter_seed, node_id) only — never of wall time or
-// the worker thread — so same seed + same fault schedule => same attempt
-// counts, same simulated backoff, same report.
+// Determinism contract (DESIGN.md §11, §12): the backoff jitter stream is
+// a stable function of (jitter_seed, node_id, stage) only — never of wall
+// time, the worker thread, or the order stages happen to execute in — so
+// same seed + same fault schedule => same attempt counts, same simulated
+// backoff, same report, whether the stages ran serially or interleaved
+// across the stage-graph executor's workers.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +70,8 @@ struct RetryPolicy {
   [[nodiscard]] bool passthrough() const noexcept {
     return max_attempts <= 1 && !quarantine;
   }
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
 };
 
 enum class FaultOutcome {
@@ -91,8 +95,14 @@ struct FaultRecord {
   bool degraded = false;            // stage output missing from the report
 };
 
-/// Executes stage bodies under a RetryPolicy for one node. Construct one
-/// per calibration run; not thread-safe (one runner per fleet worker).
+/// Executes stage bodies under a RetryPolicy for one node. Cheap to
+/// construct (the stage-graph executor builds one per stage task); not
+/// thread-safe — one runner per concurrently-executing stage.
+///
+/// `device` may be null for stages that never touch hardware (fov, fuse):
+/// their backoff then advances neither the simulated stream clock nor any
+/// device state, so a retried pure stage cannot perturb the device-op
+/// ordering that the bitwise determinism gate depends on.
 ///
 /// Observability: every retry attempt bumps speccal_retry_attempts_total
 /// and (with a trace session) emits a "retry" span nested inside the stage
@@ -102,25 +112,29 @@ struct FaultRecord {
 class RetryRunner {
  public:
   RetryRunner(const RetryPolicy& policy, std::string_view node_id,
-              sdr::Device& device, obs::TraceSession* trace);
+              sdr::Device* device, obs::TraceSession* trace);
 
   /// Run `body` under the policy. `reset` restores the stage's outputs to a
   /// clean slate; it is invoked before every attempt and once more after a
   /// final failure (so a quarantined stage never leaks a partial attempt
   /// into the report). Returns true when the stage completed, false when it
   /// was quarantined. Appends to `records` only when a fault occurred.
+  /// The jitter stream is reseeded per call from (jitter_seed, node_id,
+  /// stage), so the same stage of the same node always draws the same
+  /// backoff sequence regardless of what else ran in between.
   bool run(Stage stage, std::vector<FaultRecord>& records,
            const std::function<void()>& reset,
            const std::function<void()>& body);
 
  private:
-  [[nodiscard]] double next_backoff_s(int failed_attempt) noexcept;
+  [[nodiscard]] double next_backoff_s(int failed_attempt,
+                                      util::Rng& jitter_rng) const noexcept;
 
   const RetryPolicy& policy_;
   std::string node_id_;
-  sdr::Device& device_;
+  sdr::Device* device_;
   obs::TraceSession* trace_;
-  util::Rng jitter_rng_;
+  std::uint64_t node_seed_;
 };
 
 }  // namespace speccal::calib

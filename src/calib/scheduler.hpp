@@ -1,51 +1,7 @@
-// Measurement scheduling — the paper's §5 "end-to-end system" item:
-// "decide when to perform ADS-B measurements to gain as much information
-//  as possible, as flight schedules vary over time."
-//
-// Given an hourly traffic forecast, the scheduler estimates the angular
-// information each candidate window would contribute and greedily picks
-// windows until the marginal gain flattens.
+// DEPRECATED forwarding shim — the measurement scheduler now lives in
+// calib/window_planner.hpp as calib::WindowPlanner ("scheduler" collided
+// with the stage-graph executor's task scheduling). Include that header
+// directly; this one only forwards and will eventually disappear.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-namespace speccal::calib {
-
-/// Expected traffic for one candidate measurement window.
-struct TrafficForecast {
-  double hour_of_day = 0.0;     // window start
-  double flights_per_hour = 0.0;
-};
-
-struct ScheduleConfig {
-  double window_s = 30.0;              // paper's measurement length
-  double messages_per_flight_hz = 2.0; // position squitter rate
-  int azimuth_sectors = 36;            // information resolution
-  std::size_t max_windows = 12;
-  /// Stop adding windows when the expected newly-covered fraction of the
-  /// horizon drops below this.
-  double min_marginal_gain = 0.01;
-};
-
-struct ScheduledWindow {
-  double hour_of_day = 0.0;
-  double expected_aircraft = 0.0;
-  double expected_new_coverage = 0.0;  // horizon fraction gained
-};
-
-struct Schedule {
-  std::vector<ScheduledWindow> windows;
-  double expected_total_coverage = 0.0;  // of the horizon, [0, 1]
-};
-
-/// Expected fraction of `sectors` azimuth sectors touched by `aircraft`
-/// randomly-placed aircraft (coupon-collector coverage).
-[[nodiscard]] double expected_sector_coverage(double aircraft, int sectors) noexcept;
-
-/// Greedy schedule: repeatedly pick the hour with the best marginal
-/// coverage gain, accounting for what is already covered.
-[[nodiscard]] Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
-                                         const ScheduleConfig& config = {});
-
-}  // namespace speccal::calib
+#include "calib/window_planner.hpp"

@@ -1,0 +1,26 @@
+#include "calib/taskgraph.hpp"
+
+#include <stdexcept>
+
+namespace speccal::calib {
+
+TaskGraph::TaskId TaskGraph::add(std::string label, std::function<void()> body) {
+  Node node;
+  node.label = std::move(label);
+  node.body = std::move(body);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::depends(TaskId task, TaskId prerequisite) {
+  if (task >= nodes_.size())
+    throw std::invalid_argument("TaskGraph::depends: unknown task id");
+  if (prerequisite >= nodes_.size())
+    throw std::invalid_argument("TaskGraph::depends: unknown prerequisite id");
+  if (task == prerequisite)
+    throw std::invalid_argument("TaskGraph::depends: task cannot depend on itself");
+  nodes_[prerequisite].successors.push_back(task);
+  ++nodes_[task].prerequisites;
+}
+
+}  // namespace speccal::calib

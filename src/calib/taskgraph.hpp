@@ -1,0 +1,62 @@
+// Static task graph for the stage-graph fleet executor.
+//
+// A TaskGraph is a plain DAG of labelled closures: build it once (add tasks,
+// declare dependencies), hand it to a StageExecutor to run. The graph itself
+// owns no threads and carries no runtime state — the executor materializes
+// per-run atomic prerequisite counters, so one graph could in principle be
+// executed twice, and building a graph is cheap enough to do per batch.
+//
+// The fleet engine builds one subgraph per node (acquire -> pipeline stages
+// -> finalize) with the pipeline's declared stage dependencies as edges, so
+// short stages of one node interleave with another node's long tv_sweep
+// instead of queueing behind it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace speccal::calib {
+
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Add a task. `label` names the task in trace spans and error reports;
+  /// `body` runs exactly once, on whichever worker claims the task. Bodies
+  /// that throw are caught by the executor (the task still counts as
+  /// completed for dependency purposes — see StageExecutor).
+  TaskId add(std::string label, std::function<void()> body);
+
+  /// Declare that `task` must not start before `prerequisite` finished.
+  /// Both ids must come from add() on this graph; self-edges are rejected.
+  /// Throws std::invalid_argument on an unknown id or a self-edge. Duplicate
+  /// edges are allowed (counted once per call — keep them unique).
+  void depends(TaskId task, TaskId prerequisite);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  [[nodiscard]] const std::string& label(TaskId id) const { return nodes_.at(id).label; }
+  [[nodiscard]] const std::function<void()>& body(TaskId id) const {
+    return nodes_.at(id).body;
+  }
+  [[nodiscard]] const std::vector<TaskId>& successors(TaskId id) const {
+    return nodes_.at(id).successors;
+  }
+  [[nodiscard]] std::size_t prerequisite_count(TaskId id) const {
+    return nodes_.at(id).prerequisites;
+  }
+
+ private:
+  struct Node {
+    std::string label;
+    std::function<void()> body;
+    std::vector<TaskId> successors;
+    std::size_t prerequisites = 0;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace speccal::calib

@@ -1,4 +1,4 @@
-#include "calib/scheduler.hpp"
+#include "calib/window_planner.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -14,8 +14,7 @@ double expected_sector_coverage(double aircraft, int sectors) noexcept {
   return 1.0 - p_missed;
 }
 
-Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
-                           const ScheduleConfig& config) {
+Schedule WindowPlanner::plan(const std::vector<TrafficForecast>& forecast) const {
   Schedule out;
   if (forecast.empty()) return out;
 
@@ -24,7 +23,7 @@ Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
   // visible for several minutes; approximate the standing count as
   // flights_per_hour * 0.2 — a 12-minute mean transit through the disk).
   auto aircraft_in_window = [&](const TrafficForecast& f) {
-    return f.flights_per_hour * (config.window_s / 3600.0) + f.flights_per_hour * 0.2;
+    return f.flights_per_hour * (config_.window_s / 3600.0) + f.flights_per_hour * 0.2;
   };
 
   // Coverage composes as independent misses: after windows with coverages
@@ -32,23 +31,23 @@ Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
   std::vector<bool> used(forecast.size(), false);
   double miss_prob = 1.0;  // probability a sector is still uncovered
 
-  for (std::size_t round = 0; round < config.max_windows; ++round) {
+  for (std::size_t round = 0; round < config_.max_windows; ++round) {
     double best_gain = 0.0;
     std::size_t best_idx = forecast.size();
     for (std::size_t i = 0; i < forecast.size(); ++i) {
       if (used[i]) continue;
       const double c = expected_sector_coverage(aircraft_in_window(forecast[i]),
-                                                config.azimuth_sectors);
+                                                config_.azimuth_sectors);
       const double gain = miss_prob * c;
       if (gain > best_gain) {
         best_gain = gain;
         best_idx = i;
       }
     }
-    if (best_idx >= forecast.size() || best_gain < config.min_marginal_gain) break;
+    if (best_idx >= forecast.size() || best_gain < config_.min_marginal_gain) break;
 
     const double c = expected_sector_coverage(aircraft_in_window(forecast[best_idx]),
-                                              config.azimuth_sectors);
+                                              config_.azimuth_sectors);
     ScheduledWindow w;
     w.hour_of_day = forecast[best_idx].hour_of_day;
     w.expected_aircraft = aircraft_in_window(forecast[best_idx]);
@@ -63,6 +62,11 @@ Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
               return a.hour_of_day < b.hour_of_day;
             });
   return out;
+}
+
+Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
+                           const ScheduleConfig& config) {
+  return WindowPlanner(config).plan(forecast);
 }
 
 }  // namespace speccal::calib

@@ -4,33 +4,6 @@
 
 namespace speccal::dsp {
 
-void fft_inplace(std::span<std::complex<double>> data) {
-  PlanCache::shared().plan_f64(data.size())->forward(data);
-}
-
-void ifft_inplace(std::span<std::complex<double>> data) {
-  PlanCache::shared().plan_f64(data.size())->inverse(data);
-}
-
-std::vector<std::complex<double>> fft(std::span<const std::complex<double>> data) {
-  std::vector<std::complex<double>> out(data.begin(), data.end());
-  fft_inplace(out);
-  return out;
-}
-
-std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> data) {
-  std::vector<std::complex<double>> out(data.begin(), data.end());
-  ifft_inplace(out);
-  return out;
-}
-
-std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
-                                   std::span<const double> window) {
-  if (block.empty()) return {};
-  SpectrumEstimator estimator(next_power_of_two(block.size()), window);
-  return estimator.estimate(block);
-}
-
 std::size_t bin_for_frequency(double freq_hz, double sample_rate_hz,
                               std::size_t fft_size) noexcept {
   if (fft_size == 0 || !(sample_rate_hz > 0.0)) return 0;

@@ -1,41 +1,15 @@
-// Legacy free-function FFT API — thin shims over the plan-based engine.
+// Spectrum-bin geometry helpers.
 //
-// DEPRECATED (see DESIGN.md §8 for the policy): every call looks up a
-// cached dsp::FftPlan/FftPlanD in dsp::PlanCache and, for power_spectrum,
-// builds a fresh SpectrumEstimator (allocating output each call). New code
-// — and any code on a hot path — should hold a plan / estimator directly
-// (dsp/plan.hpp, dsp/welch.hpp) so twiddle tables and scratch are reused.
-// These shims remain for one release for out-of-tree callers and for the
-// verification tests that pin the transform's numerics.
+// The transform engine itself lives in dsp/plan.hpp (FftPlan/FftPlanD,
+// PlanCache, SpectrumEstimator) and dsp/welch.hpp (WelchEstimator); the
+// deprecated free-function shims that used to live here (fft_inplace, fft,
+// power_spectrum, ...) completed their one-release grace period and were
+// removed — hold a plan or estimator directly.
 #pragma once
 
-#include <complex>
 #include <cstddef>
-#include <span>
-#include <vector>
-
-#include "dsp/plan.hpp"
 
 namespace speccal::dsp {
-
-/// In-place forward FFT. `data.size()` must be a power of two.
-/// Throws std::invalid_argument otherwise.
-/// Deprecated shim: equivalent to PlanCache::shared().plan_f64(n)->forward().
-void fft_inplace(std::span<std::complex<double>> data);
-
-/// In-place inverse FFT (includes the 1/N normalization). Deprecated shim.
-void ifft_inplace(std::span<std::complex<double>> data);
-
-/// Out-of-place convenience wrappers. Deprecated shims.
-[[nodiscard]] std::vector<std::complex<double>> fft(std::span<const std::complex<double>> data);
-[[nodiscard]] std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> data);
-
-/// Power spectrum |X[k]|^2 / N^2 of a float I/Q block after applying
-/// `window` (empty window = rectangular). Input is zero-padded to the next
-/// power of two. Result is linear power per bin, full scale = 1.0.
-/// Deprecated shim over SpectrumEstimator (which reuses plan + scratch).
-[[nodiscard]] std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
-                                                 std::span<const double> window = {});
 
 /// Index of the spectrum bin whose centre is nearest `freq_hz` given
 /// `sample_rate_hz` (negative frequencies map to the upper half, standard

@@ -57,11 +57,6 @@ WelchResult WelchEstimator::estimate(std::span<const std::complex<float>> block,
   return out;
 }
 
-WelchResult welch_psd(std::span<const std::complex<float>> block,
-                      double sample_rate_hz, const WelchConfig& config) {
-  return WelchEstimator(config).estimate(block, sample_rate_hz);
-}
-
 double band_power(const WelchResult& psd, double sample_rate_hz, double low_hz,
                   double high_hz) noexcept {
   if (psd.psd.empty() || high_hz <= low_hz) return 0.0;

@@ -7,8 +7,9 @@
 //
 // The hot path is WelchEstimator: it holds a cached FFT plan, a
 // float-native window and a scratch arena, so estimate_into() on a reused
-// result performs zero allocations per block. The welch_psd free function
-// remains as a deprecated one-shot shim (see DESIGN.md §8).
+// result performs zero allocations per block. (The deprecated welch_psd
+// one-shot shim finished its grace period and was removed — construct a
+// WelchEstimator instead; see DESIGN.md §8.)
 #pragma once
 
 #include <complex>
@@ -21,9 +22,8 @@
 
 namespace speccal::dsp {
 
-/// Validation contract (enforced by WelchEstimator's constructor and the
-/// welch_psd shim; violations throw std::invalid_argument naming the
-/// offending parameter):
+/// Validation contract (enforced by WelchEstimator's constructor;
+/// violations throw std::invalid_argument naming the offending parameter):
 ///   - segment_size must be a power of two (radix-2 plan);
 ///   - overlap must lie in [0, 1) — 0.99 is legal (hop clamps to >= 1
 ///     sample), 1.0 would never advance.
@@ -70,15 +70,6 @@ class WelchEstimator {
   std::size_t hop_ = 1;
   ScratchArena scratch_;
 };
-
-/// One-shot PSD estimate. Deprecated shim: constructs a WelchEstimator per
-/// call (plan still cached, but window/scratch are rebuilt) — hot paths
-/// should hold a WelchEstimator. Throws std::invalid_argument on an
-/// invalid config; returns an empty result when the block is shorter than
-/// one segment.
-[[nodiscard]] WelchResult welch_psd(std::span<const std::complex<float>> block,
-                                    double sample_rate_hz,
-                                    const WelchConfig& config = {});
 
 /// Total power (linear) in [low_hz, high_hz] of a Welch result (frequencies
 /// relative to the capture centre; negative = below centre).

@@ -88,17 +88,17 @@ TEST(FftPlan, InverseRoundTripFloat) {
   }
 }
 
-TEST(FftPlan, MatchesLegacyDoubleShim) {
+TEST(FftPlan, CachedPlanMatchesFreshPlan) {
   Rng rng(14);
   std::vector<std::complex<double>> x(512);
   for (auto& v : x) v = {rng.normal(), rng.normal()};
-  auto via_shim = x;
-  d::fft_inplace(via_shim);  // shim routes through the cached plan
+  auto via_cache = x;
+  d::PlanCache::shared().plan_f64(x.size())->forward(via_cache);
   auto via_plan = x;
   d::FftPlanD(x.size()).forward(via_plan);
   for (std::size_t k = 0; k < x.size(); ++k) {
-    EXPECT_DOUBLE_EQ(via_plan[k].real(), via_shim[k].real());
-    EXPECT_DOUBLE_EQ(via_plan[k].imag(), via_shim[k].imag());
+    EXPECT_DOUBLE_EQ(via_plan[k].real(), via_cache[k].real());
+    EXPECT_DOUBLE_EQ(via_plan[k].imag(), via_cache[k].imag());
   }
 }
 
@@ -171,27 +171,28 @@ TEST(ScratchArena, ReusesWithoutRegrowth) {
 
 // ------------------------------------------------------------- estimator ----
 
-TEST(SpectrumEstimator, MatchesLegacyFreeFunction) {
-  const auto x = noise_block(4096, 15);
-  const auto legacy = d::power_spectrum(x);
-  d::SpectrumEstimator est(4096);
-  std::vector<double> out;
-  est.estimate(x, out);
-  ASSERT_EQ(out.size(), legacy.size());
-  for (std::size_t k = 0; k < out.size(); ++k)
-    EXPECT_DOUBLE_EQ(out[k], legacy[k]);  // the shim routes through the engine
-}
-
 TEST(SpectrumEstimator, ZeroPadsAndWindowTailIsUnity) {
   // 1000 samples into a 1024-point plan with a 600-entry window: entries
-  // beyond the window count as 1.0, matching the legacy free function.
+  // beyond the window count as 1.0 and the input tail is zero-padded.
+  // Reference computed by hand from the plan: window, pad, transform, then
+  // coherent-gain-corrected power |X[k]|^2 / (sum w_i^2 * block_len).
   const auto x = noise_block(1000, 16);
   const std::vector<double> window(600, 0.5);
   d::SpectrumEstimator est(1024, window);
   const auto got = est.estimate(x);
-  const auto legacy = d::power_spectrum(x, window);
-  ASSERT_EQ(got.size(), legacy.size());
-  for (std::size_t k = 0; k < got.size(); ++k) EXPECT_DOUBLE_EQ(got[k], legacy[k]);
+
+  std::vector<std::complex<float>> padded(1024);
+  double window_power = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float w = i < window.size() ? static_cast<float>(window[i]) : 1.0f;
+    window_power += static_cast<double>(w) * static_cast<double>(w);
+    padded[i] = x[i] * w;
+  }
+  d::PlanCache::shared().plan_f32(1024)->forward(padded);
+  const double scale = 1.0 / (window_power * static_cast<double>(x.size()));
+  ASSERT_EQ(got.size(), padded.size());
+  for (std::size_t k = 0; k < got.size(); ++k)
+    EXPECT_DOUBLE_EQ(got[k], static_cast<double>(std::norm(padded[k])) * scale);
 }
 
 TEST(SpectrumEstimator, ValidationNamesParameter) {
@@ -212,21 +213,21 @@ TEST(SpectrumEstimator, ValidationNamesParameter) {
 
 // ----------------------------------------------------------------- welch ----
 
-TEST(WelchEstimator, PlanReuseBitwiseIdenticalToOneShot) {
+TEST(WelchEstimator, PlanReuseBitwiseIdenticalToFreshEstimator) {
   const auto x = noise_block(65536, 18);
   d::WelchConfig config;
   config.segment_size = 1024;
   config.overlap = 0.5;
 
-  const auto one_shot = d::welch_psd(x, 8e6, config);
+  const auto fresh = d::WelchEstimator(config).estimate(x, 8e6);
 
   d::WelchEstimator est(config);
   d::WelchResult reused;
   for (int pass = 0; pass < 3; ++pass) est.estimate_into(x, 8e6, reused);
 
-  ASSERT_EQ(reused.psd.size(), one_shot.psd.size());
-  EXPECT_EQ(reused.segments_averaged, one_shot.segments_averaged);
-  EXPECT_EQ(0, std::memcmp(reused.psd.data(), one_shot.psd.data(),
+  ASSERT_EQ(reused.psd.size(), fresh.psd.size());
+  EXPECT_EQ(reused.segments_averaged, fresh.segments_averaged);
+  EXPECT_EQ(0, std::memcmp(reused.psd.data(), fresh.psd.data(),
                            reused.psd.size() * sizeof(double)));
 }
 

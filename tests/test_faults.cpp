@@ -379,7 +379,7 @@ TEST(Retry, BackoffJitterIsDeterministicPerNode) {
 
   auto run_node = [&](const std::string& node_id) {
     FlakyStubDevice dev(2);
-    cal::RetryRunner runner(policy, node_id, dev, nullptr);
+    cal::RetryRunner runner(policy, node_id, &dev, nullptr);
     std::vector<cal::FaultRecord> records;
     const bool ok = runner.run(
         cal::Stage::kTvSweep, records, [] {}, [&] { (void)dev.capture(8); });

@@ -52,7 +52,7 @@ TEST(Welch, TotalPowerMatchesTimeDomain) {
     time_power += std::norm(v);
   }
   time_power /= static_cast<double>(x.size());
-  const auto result = d::welch_psd(x, 1e6);
+  const auto result = d::WelchEstimator{}.estimate(x, 1e6);
   double psd_power = 0.0;
   for (double v : result.psd) psd_power += v;
   EXPECT_NEAR(psd_power, time_power, time_power * 0.05);
@@ -62,7 +62,7 @@ TEST(Welch, TotalPowerMatchesTimeDomain) {
 TEST(Welch, ToneLandsInCorrectBin) {
   constexpr double fs = 1e6;
   const auto x = tone_plus_noise(200e3, fs, 8192, 0.5, 0.001, 4);
-  const auto result = d::welch_psd(x, fs);
+  const auto result = d::WelchEstimator{}.estimate(x, fs);
   std::size_t best = 0;
   for (std::size_t k = 1; k < result.psd.size(); ++k)
     if (result.psd[k] > result.psd[best]) best = k;
@@ -77,7 +77,7 @@ TEST(Welch, AveragingReducesVariance) {
   d::WelchConfig one_seg;
   one_seg.segment_size = 1024;
   one_seg.overlap = 0.0;
-  const auto many = d::welch_psd(x, 1e6, one_seg);
+  const auto many = d::WelchEstimator(one_seg).estimate(x, 1e6);
   // Per-bin relative std-dev after averaging ~64 segments: ~1/8.
   double mean = 0.0, var = 0.0;
   for (double v : many.psd) mean += v;
@@ -91,19 +91,19 @@ TEST(Welch, ValidationAndEdgeCases) {
   std::vector<std::complex<float>> x(4096);
   d::WelchConfig bad;
   bad.segment_size = 1000;
-  EXPECT_THROW(d::welch_psd(x, 1e6, bad), std::invalid_argument);
+  EXPECT_THROW(d::WelchEstimator{bad}, std::invalid_argument);
   bad.segment_size = 1024;
   bad.overlap = 1.5;
-  EXPECT_THROW(d::welch_psd(x, 1e6, bad), std::invalid_argument);
+  EXPECT_THROW(d::WelchEstimator{bad}, std::invalid_argument);
   // Short block: empty result, no crash.
   std::vector<std::complex<float>> tiny(10);
-  EXPECT_TRUE(d::welch_psd(tiny, 1e6).psd.empty());
+  EXPECT_TRUE(d::WelchEstimator{}.estimate(tiny, 1e6).psd.empty());
 }
 
 TEST(Welch, BandPowerAndFloor) {
   constexpr double fs = 1e6;
   const auto x = tone_plus_noise(100e3, fs, 32768, 0.5, 0.002, 6);
-  const auto result = d::welch_psd(x, fs);
+  const auto result = d::WelchEstimator{}.estimate(x, fs);
   const double in_band = d::band_power(result, fs, 90e3, 110e3);
   const double out_band = d::band_power(result, fs, -300e3, -200e3);
   EXPECT_GT(in_band, 1000.0 * out_band);

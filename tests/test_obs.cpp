@@ -374,38 +374,43 @@ TEST(Integration, FleetRunEmitsNestedSpanTreeAndCounters) {
   const auto summary = calibrator.run(std::move(jobs), registry);
   EXPECT_EQ(summary.calibrated, 2u);
   EXPECT_EQ(nodes.value(), nodes_before + 2);
+  EXPECT_EQ(summary.executor.tasks_run,
+            2u * (speccal::calib::kStageCount + 2));
 
-  // Span tree: one fleet_run root, one node span per node, each node's
-  // stage spans time-contained within it on the same track.
+  // Span tree: one fleet_run root, one "task" span per graph task (acquire
+  // + one per stage + finalize, per node), and each pipeline stage span
+  // time-contained in a task span on the same worker track.
   const auto spans = exported_spans(session);
-  std::size_t fleet_spans = 0, node_spans = 0, stage_spans = 0;
+  std::size_t fleet_spans = 0, task_spans = 0, stage_spans = 0;
   for (const auto& s : spans) {
     const std::string& cat = s.at("cat").str();
     if (cat == "fleet") ++fleet_spans;
-    if (cat == "node") ++node_spans;
+    if (cat == "task") ++task_spans;
     if (cat == "stage") ++stage_spans;
   }
   EXPECT_EQ(fleet_spans, 1u);
-  EXPECT_EQ(node_spans, 2u);
+  EXPECT_EQ(task_spans, 2u * (speccal::calib::kStageCount + 2));
   EXPECT_EQ(stage_spans, 2u * speccal::calib::kStageCount);
 
-  for (const auto& node : spans) {
-    if (node.at("cat").str() != "node") continue;
-    const double n0 = node.at("ts").number();
-    const double n1 = n0 + node.at("dur").number();
-    const double tid = node.at("tid").number();
-    std::size_t contained = 0;
-    for (const auto& stage : spans) {
-      if (stage.at("cat").str() != "stage") continue;
-      if (stage.at("tid").number() != tid) continue;
-      const double s0 = stage.at("ts").number();
-      const double s1 = s0 + stage.at("dur").number();
-      if (s0 >= n0 && s1 <= n1 &&
-          stage.at("args").at("node").str() == node.at("name").str())
-        ++contained;
+  for (const auto& stage : spans) {
+    if (stage.at("cat").str() != "stage") continue;
+    const double s0 = stage.at("ts").number();
+    const double s1 = s0 + stage.at("dur").number();
+    const double tid = stage.at("tid").number();
+    const std::string& node_id = stage.at("args").at("node").str();
+    bool contained = false;
+    for (const auto& task : spans) {
+      if (task.at("cat").str() != "task") continue;
+      if (task.at("tid").number() != tid) continue;
+      // Task labels are "<node>/<stage>"; this stage's own task starts
+      // with the node id.
+      if (task.at("name").str().rfind(node_id + "/", 0) != 0) continue;
+      const double t0 = task.at("ts").number();
+      const double t1 = t0 + task.at("dur").number();
+      if (s0 >= t0 && s1 <= t1) contained = true;
     }
-    EXPECT_EQ(contained, speccal::calib::kStageCount)
-        << "node " << node.at("name").str();
+    EXPECT_TRUE(contained) << "stage span of " << node_id
+                           << " not inside any of its task spans";
   }
 
   // And the whole global registry still exports parseable JSON.

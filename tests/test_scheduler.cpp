@@ -1,9 +1,28 @@
-// Tests: measurement scheduling (§5 end-to-end system).
+// Tests: measurement-window planning (§5 end-to-end system).
 #include <gtest/gtest.h>
 
-#include "calib/scheduler.hpp"
+#include "calib/scheduler.hpp"  // deprecated shim — must keep forwarding
+#include "calib/window_planner.hpp"
 
 namespace cal = speccal::calib;
+
+TEST(WindowPlanner, ClassApiMatchesFreeFunction) {
+  cal::ScheduleConfig cfg;
+  cfg.max_windows = 4;
+  cfg.min_marginal_gain = 0.0;
+  const std::vector<cal::TrafficForecast> profile{{0.0, 5.0}, {8.0, 60.0},
+                                                  {18.0, 80.0}};
+  const cal::WindowPlanner planner(cfg);
+  EXPECT_EQ(planner.config().max_windows, 4u);
+  const auto via_class = planner.plan(profile);
+  const auto via_free = cal::plan_measurements(profile, cfg);
+  ASSERT_EQ(via_class.windows.size(), via_free.windows.size());
+  EXPECT_DOUBLE_EQ(via_class.expected_total_coverage,
+                   via_free.expected_total_coverage);
+  for (std::size_t i = 0; i < via_class.windows.size(); ++i)
+    EXPECT_DOUBLE_EQ(via_class.windows[i].hour_of_day,
+                     via_free.windows[i].hour_of_day);
+}
 
 TEST(Scheduler, CoverageFunctionProperties) {
   // Zero aircraft cover nothing; infinite traffic covers everything.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "dsp/plan.hpp"
 #include "prop/pathloss.hpp"
 #include "sdr/antenna.hpp"
 #include "dsp/nco.hpp"
@@ -235,7 +236,7 @@ TEST(Emitter, PilotToneVisibleInSpectrum) {
   d::Buffer buf(ctx.sample_count, {0.0f, 0.0f});
   source->render(ctx, buf);
 
-  const auto ps = d::power_spectrum(buf);
+  const auto ps = d::SpectrumEstimator(buf.size()).estimate(buf);
   const std::size_t pilot_bin =
       d::bin_for_frequency(*cfg.pilot_offset_hz, 8e6, ps.size());
   // The pilot bin should clearly exceed the median in-band bin.
@@ -454,7 +455,7 @@ TEST(SimulatedSdr, LoErrorShiftsReceivedTone) {
   dev.set_gain_db(30.0);
   ASSERT_TRUE(dev.tune(1e9, 2e6));
   const auto buf = dev.capture(1 << 16);
-  const auto ps = d::power_spectrum(buf);
+  const auto ps = d::SpectrumEstimator(buf.size()).estimate(buf);
   std::size_t best = 0;
   for (std::size_t k = 1; k < ps.size(); ++k)
     if (ps[k] > ps[best]) best = k;
