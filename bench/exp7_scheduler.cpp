@@ -52,7 +52,7 @@ int main() {
   calib::ScheduleConfig cfg;
   cfg.max_windows = 6;
   cfg.min_marginal_gain = 0.0;
-  const auto schedule = calib::plan_measurements(profile, cfg);
+  const auto schedule = calib::WindowPlanner(cfg).plan(profile);
 
   util::Table table({"hour", "exp. aircraft", "new coverage", "plot"});
   for (const auto& w : schedule.windows)
@@ -68,7 +68,7 @@ int main() {
   for (std::size_t budget : {2u, 4u, 6u, 12u}) {
     calib::ScheduleConfig c = cfg;
     c.max_windows = budget;
-    const auto s = calib::plan_measurements(profile, c);
+    const auto s = calib::WindowPlanner(c).plan(profile);
     std::cout << "budget " << budget << " windows: greedy "
               << util::format_fixed(s.expected_total_coverage, 3) << " vs naive "
               << util::format_fixed(naive_coverage(profile, budget, c), 3) << "\n";

@@ -201,10 +201,10 @@ int main(int argc, char** argv) {
 
   util::Table table({"threads", "wall s", "nodes/s", "speedup", "stolen", "identical"});
   for (const unsigned threads : thread_list) {
-    calib::FleetConfig fleet_cfg;
-    fleet_cfg.threads = threads;
-    calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
-                                      fleet_cfg);
+    calib::RunConfig run;
+    run.pipeline = cfg;
+    run.executor.threads = threads;
+    calib::FleetCalibrator calibrator(world, run);
     calib::NodeRegistry registry;
     const auto summary = calibrator.run(make_jobs(world), registry);
     if (summary.calibrated != kFleetSize || summary.failed != 0) {

@@ -138,8 +138,10 @@ int main(int argc, char** argv) {
               << fault_profile.expected_quarantined_nodes << "\n";
   }
 
+  calib::RunConfig run;
+  run.pipeline = cfg;
+  run.executor.threads = threads;
   calib::FleetConfig fleet_cfg;
-  fleet_cfg.threads = threads;
   fleet_cfg.trace = trace ? &*trace : nullptr;
   fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
     // Per-node lines for small fleets; at 1000-node scale print a heartbeat
@@ -151,8 +153,7 @@ int main(int argc, char** argv) {
                 << (p.ok ? "" : "  (ABORTED)")
                 << (p.quarantined ? "  (QUARANTINED)" : "") << "\n";
   };
-  calib::FleetCalibrator calibrator(calib::CalibrationPipeline(world, cfg),
-                                    fleet_cfg);
+  calib::FleetCalibrator calibrator(world, run, fleet_cfg);
 
   std::cout << "Calibrating a fleet of " << fleet.size() << " nodes on "
             << calibrator.effective_threads(fleet.size()) << " thread(s)...\n";
@@ -182,8 +183,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nBatch: " << summary.calibrated << "/" << summary.total
             << " calibrated (" << summary.failed << " aborted, "
-            << summary.quarantined << " quarantined, " << summary.recovered
-            << " recovered, " << summary.skipped << " skipped) in "
+            << summary.faults.quarantined << " quarantined, "
+            << summary.faults.recovered << " recovered, " << summary.skipped << " skipped) in "
             << util::format_fixed(summary.wall_s, 2) << " s — "
             << util::format_fixed(summary.nodes_per_s, 2) << " nodes/s\n";
 
@@ -297,13 +298,13 @@ int main(int argc, char** argv) {
                 << " node(s); quarantine should have contained them\n";
       return 3;
     }
-    if (summary.quarantined != fault_profile.expected_quarantined_nodes) {
+    if (summary.faults.quarantined != fault_profile.expected_quarantined_nodes) {
       std::cerr << "fleet_audit: profile '" << fault_profile.name
                 << "' expected " << fault_profile.expected_quarantined_nodes
-                << " quarantined node(s), got " << summary.quarantined << "\n";
+                << " quarantined node(s), got " << summary.faults.quarantined << "\n";
       return 3;
     }
-    std::cout << "\nChaos self-check OK: " << summary.quarantined
+    std::cout << "\nChaos self-check OK: " << summary.faults.quarantined
               << " quarantined node(s) as scripted\n";
   }
   return 0;

@@ -28,13 +28,13 @@ FleetCalibrator::FleetCalibrator(CalibrationPipeline pipeline, FleetConfig confi
 FleetCalibrator::FleetCalibrator(WorldModel world, RunConfig run,
                                  FleetConfig fleet)
     : pipeline_(std::move(world), validate_and_resolve(run)),
-      config_(std::move(fleet)) {
-  if (run.executor.threads != 0) config_.threads = run.executor.threads;
+      config_(std::move(fleet)),
+      threads_(run.executor.threads) {
   if (config_.trace == nullptr) config_.trace = run.executor.trace;
 }
 
 unsigned FleetCalibrator::effective_threads(std::size_t jobs) const noexcept {
-  unsigned threads = config_.threads;
+  unsigned threads = threads_;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   return static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(jobs, 1)));
@@ -168,9 +168,8 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
 
           const StageMetrics metrics = st.report.metrics;
           const bool node_quarantined = st.report.quarantined();
-          bool node_recovered = false;
-          for (const FaultRecord& fr : st.report.fault_records)
-            if (fr.outcome == FaultOutcome::kRecovered) node_recovered = true;
+          FaultTally node_tally;
+          node_tally.note(st.report.fault_records);
           if (node_quarantined)
             obs::Registry::global()
                 .counter("speccal_fault_quarantined_nodes_total")
@@ -186,8 +185,7 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
             ++summary.failed;
             summary.failures.push_back({job.claims.node_id, st.error});
           }
-          if (node_quarantined) ++summary.quarantined;
-          if (node_recovered && !node_quarantined) ++summary.recovered;
+          summary.faults += node_tally;
           if (config.on_progress) {
             FleetProgress progress;
             progress.completed = completed;

@@ -32,6 +32,7 @@
 #include "calib/executor.hpp"
 #include "calib/metrics.hpp"
 #include "calib/pipeline.hpp"
+#include "calib/retry.hpp"
 #include "calib/runconfig.hpp"
 
 namespace speccal::obs {
@@ -58,12 +59,11 @@ struct FleetProgress {
   bool quarantined = false;   // >= 1 stage quarantined (degraded report)
 };
 
+/// Fleet-side knobs that are not part of the calibration recipe. The
+/// thread count is NOT here: scheduling belongs to RunConfig::executor
+/// (one spelling per concept), so use the RunConfig constructor to control
+/// parallelism.
 struct FleetConfig {
-  /// Deprecated alias for RunConfig::executor.threads (kept so brace-init
-  /// call sites compile unchanged; a non-zero RunConfig value wins).
-  /// 0 = hardware concurrency; 1 = inline deterministic execution on the
-  /// calling thread without spawning.
-  unsigned threads = 0;
   std::function<void(const FleetProgress&)> on_progress;
   /// Optional trace collector (caller-owned, must outlive run()). When set,
   /// each run() records a root "fleet_run" span, one "task" span per graph
@@ -86,8 +86,9 @@ struct FleetSummary {
   std::size_t calibrated = 0;  // reports recorded (aborted ones included)
   std::size_t failed = 0;      // aborted reports among `calibrated`
   std::size_t skipped = 0;     // jobs never started (cancellation)
-  std::size_t quarantined = 0; // nodes with >= 1 quarantined stage
-  std::size_t recovered = 0;   // nodes that needed retries but completed clean
+  /// Quarantined/recovered node counts — the shared calib::FaultTally
+  /// spelling (net::DecodeFarmStats embeds the same struct).
+  FaultTally faults;
   double wall_s = 0.0;
   double nodes_per_s = 0.0;
   std::vector<FleetFailure> failures;
@@ -100,13 +101,16 @@ struct FleetSummary {
 
 class FleetCalibrator {
  public:
+  /// Pre-built-pipeline entry point. Runs at hardware concurrency; use the
+  /// RunConfig constructor to control the thread count.
   explicit FleetCalibrator(CalibrationPipeline pipeline, FleetConfig config = {});
 
-  /// Task-oriented entry point: build the pipeline from `world` and a
+  /// Preferred entry point: build the pipeline from `world` and a
   /// validated RunConfig (throws std::invalid_argument, naming the field,
-  /// on bad values). RunConfig::executor.threads overrides the deprecated
-  /// FleetConfig::threads alias when non-zero; RunConfig::executor.trace
-  /// fills FleetConfig::trace when the latter is null.
+  /// on bad values). RunConfig::executor.threads sets the worker count
+  /// (0 = hardware concurrency, 1 = inline deterministic execution);
+  /// RunConfig::executor.trace fills FleetConfig::trace when the latter is
+  /// null.
   FleetCalibrator(WorldModel world, RunConfig run, FleetConfig fleet = {});
 
   /// Calibrate every job, recording each report into `registry` as it
@@ -125,12 +129,17 @@ class FleetCalibrator {
   [[nodiscard]] const CalibrationPipeline& pipeline() const noexcept { return pipeline_; }
   [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
 
+  /// Configured worker count (RunConfig::executor.threads; 0 = hardware
+  /// concurrency).
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
   /// Threads run() will actually use for a batch of `jobs` jobs.
   [[nodiscard]] unsigned effective_threads(std::size_t jobs) const noexcept;
 
  private:
   CalibrationPipeline pipeline_;
   FleetConfig config_;
+  unsigned threads_ = 0;
   std::atomic<bool> cancel_{false};
 };
 

@@ -1,0 +1,21 @@
+#include "calib/ingest.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace speccal::calib {
+
+FleetJob make_replay_job(ReplayNodeData data) {
+  if (!data.records) {
+    throw std::invalid_argument("ReplayNodeData.records must not be null");
+  }
+  FleetJob job;
+  job.claims = data.claims;
+  job.make_device = [info = std::move(data.info), position = data.position,
+                     rx = data.rx, records = std::move(data.records)] {
+    return std::make_unique<sdr::ReplayDevice>(info, position, records, rx);
+  };
+  return job;
+}
+
+}  // namespace speccal::calib

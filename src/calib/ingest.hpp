@@ -1,0 +1,38 @@
+// Calibration entry point for decoded capture streams.
+//
+// The decode farm (net::DecodeFarm) reconstructs each node's capture
+// sequence from wire segments; this header turns one reconstructed stream
+// plus its out-of-band node manifest (claims, device capabilities, site
+// models) into a calib::FleetJob that runs through the ordinary
+// FleetCalibrator — the backend reuses the whole fleet engine, stage graph
+// and retry machinery unchanged, it just swaps the device for a
+// sdr::ReplayDevice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "calib/fleet.hpp"
+#include "sdr/replay.hpp"
+
+namespace speccal::calib {
+
+/// One node's decoded stream plus the manifest the backend registered for
+/// it. The models `rx` points into must outlive the calibration run.
+struct ReplayNodeData {
+  NodeClaims claims;
+  sdr::DeviceInfo info;
+  geo::Geodetic position;
+  /// Receiver surroundings for model-only stages (survey, cell scan).
+  /// Without it the replay device has no SimControl and those stages fail
+  /// the same way they would on unknown real hardware.
+  std::optional<sdr::RxEnvironment> rx;
+  std::shared_ptr<const std::vector<sdr::CaptureRecord>> records;
+};
+
+/// Fleet job whose device replays `data.records`. Throws
+/// std::invalid_argument when `data.records` is null.
+[[nodiscard]] FleetJob make_replay_job(ReplayNodeData data);
+
+}  // namespace speccal::calib

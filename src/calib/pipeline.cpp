@@ -339,7 +339,8 @@ NodeTaskSet CalibrationPipeline::plan(sdr::Device& device,
   return set;
 }
 
-void CalibrationReport::write_json(std::ostream& os) const {
+void CalibrationReport::write_json(std::ostream& os,
+                                   bool include_stage_metrics) const {
   util::JsonWriter w(os);
   w.begin_object();
   w.key("node_id");
@@ -508,8 +509,10 @@ void CalibrationReport::write_json(std::ostream& os) const {
   w.end_array();
   w.end_object();
 
-  w.key("stage_metrics");
-  metrics.write_json(w);
+  if (include_stage_metrics) {
+    w.key("stage_metrics");
+    metrics.write_json(w);
+  }
 
   w.end_object();
 }

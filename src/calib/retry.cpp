@@ -35,6 +35,18 @@ std::uint64_t stage_jitter_seed(std::uint64_t node_seed, Stage stage) {
 
 }  // namespace
 
+void FaultTally::note(const std::vector<FaultRecord>& records) noexcept {
+  // Quarantine wins: a node with both a quarantined and a recovered stage
+  // is degraded, not recovered (same rule as CalibrationReport::quarantined).
+  for (const FaultRecord& fr : records) {
+    if (fr.outcome != FaultOutcome::kRecovered) {
+      ++quarantined;
+      return;
+    }
+  }
+  if (!records.empty()) ++recovered;
+}
+
 const char* to_string(FaultOutcome outcome) noexcept {
   switch (outcome) {
     case FaultOutcome::kRecovered: return "recovered";

@@ -23,6 +23,7 @@
 // across the stage-graph executor's workers.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -81,6 +82,28 @@ enum class FaultOutcome {
 };
 
 [[nodiscard]] const char* to_string(FaultOutcome outcome) noexcept;
+
+/// Fleet-level tally of how fault handling ended per node. The one shared
+/// spelling for these counts: FleetSummary carries it, net::DecodeFarmStats
+/// embeds the same struct, and anything downstream aggregates with +=.
+/// `quarantined` = nodes that completed degraded (>= 1 stage quarantined or
+/// deadline-expired); `recovered` = nodes that needed retries somewhere but
+/// completed clean. A node counts in at most one bucket.
+struct FaultTally {
+  std::size_t quarantined = 0;
+  std::size_t recovered = 0;
+
+  /// Classify one node's fault records into the tally (no records = clean
+  /// node, counted in neither bucket).
+  void note(const std::vector<struct FaultRecord>& records) noexcept;
+
+  FaultTally& operator+=(const FaultTally& other) noexcept {
+    quarantined += other.quarantined;
+    recovered += other.recovered;
+    return *this;
+  }
+  friend bool operator==(const FaultTally&, const FaultTally&) = default;
+};
 
 /// One stage's fault history inside a CalibrationReport. Only recorded when
 /// something actually went wrong — a clean stage leaves no record, so a

@@ -64,9 +64,4 @@ Schedule WindowPlanner::plan(const std::vector<TrafficForecast>& forecast) const
   return out;
 }
 
-Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
-                           const ScheduleConfig& config) {
-  return WindowPlanner(config).plan(forecast);
-}
-
 }  // namespace speccal::calib

@@ -6,7 +6,7 @@
 // information each candidate window would contribute and greedily picks
 // windows until the marginal gain flattens. (Formerly "the scheduler";
 // renamed so the name stops colliding with the stage-graph executor's task
-// scheduling — calib/scheduler.hpp remains as a forwarding shim.)
+// scheduling.)
 #pragma once
 
 #include <cstdint>
@@ -58,10 +58,5 @@ class WindowPlanner {
  private:
   ScheduleConfig config_;
 };
-
-/// Free-function form of WindowPlanner{config}.plan(forecast) — the
-/// pre-rename API, kept for existing callers.
-[[nodiscard]] Schedule plan_measurements(const std::vector<TrafficForecast>& forecast,
-                                         const ScheduleConfig& config = {});
 
 }  // namespace speccal::calib

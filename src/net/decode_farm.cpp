@@ -1,0 +1,207 @@
+#include "net/decode_farm.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "calib/fleet.hpp"
+#include "obs/metrics.hpp"
+
+namespace speccal::net {
+
+void DecodeFarmConfig::validate() const {
+  if (decode_threads < 1) {
+    throw std::invalid_argument("DecodeFarmConfig.decode_threads must be >= 1");
+  }
+  if (max_segment_bytes < kHeaderSize + kCrcSize) {
+    throw std::invalid_argument(
+        "DecodeFarmConfig.max_segment_bytes must be >= header + CRC size");
+  }
+}
+
+/// One decoded segment held aside until its predecessors arrive. Workers
+/// race on the queue, so a stream's segments can reach the farm out of
+/// order even over an in-order transport.
+namespace {
+struct DecodedPiece {
+  SegmentHeader header;
+  dsp::Buffer samples;
+};
+}  // namespace
+
+/// Per-stream reassembly state. `mutex` serializes appends from different
+/// decode workers; payload decoding itself happens outside the lock.
+struct DecodeFarm::StreamState {
+  std::mutex mutex;
+  std::uint32_t next_seq = 0;
+  std::map<std::uint32_t, DecodedPiece> stash;
+  std::shared_ptr<std::vector<sdr::CaptureRecord>> records =
+      std::make_shared<std::vector<sdr::CaptureRecord>>();
+  std::uint32_t open_capture_index = 0;
+  bool capture_open = false;
+  bool eos = false;
+  std::uint64_t captures = 0;
+  std::uint64_t samples = 0;
+
+  /// Fold one in-sequence piece into the capture list. Consecutive
+  /// segments sharing a capture_index are chunks of one split capture.
+  void apply(const SegmentHeader& h, std::span<const dsp::Sample> block) {
+    if (h.sample_count == 0) {  // end-of-stream marker (parser enforces flag)
+      eos = true;
+      capture_open = false;
+      return;
+    }
+    if (!capture_open || h.capture_index != open_capture_index) {
+      sdr::CaptureRecord rec;
+      rec.center_freq_hz = h.center_freq_hz;
+      rec.sample_rate_hz = h.sample_rate_hz;
+      rec.gain_db = h.gain_db;
+      rec.timestamp_s = h.timestamp_s;  // first chunk = capture start time
+      records->push_back(std::move(rec));
+      capture_open = true;
+      open_capture_index = h.capture_index;
+      ++captures;
+    }
+    dsp::Buffer& dst = records->back().samples;
+    dst.insert(dst.end(), block.begin(), block.end());
+    samples += block.size();
+  }
+};
+
+DecodeFarm::DecodeFarm(calib::WorldModel world, calib::RunConfig run,
+                       DecodeFarmConfig config)
+    : world_(std::move(world)), run_(std::move(run)), config_(config) {
+  config_.validate();
+  run_.validate();
+}
+
+void DecodeFarm::register_node(std::uint32_t stream_id, NodeManifest manifest) {
+  manifests_[stream_id] = std::move(manifest);
+}
+
+DecodeFarmStats DecodeFarm::run(SegmentQueue& queue,
+                                calib::NodeRegistry& registry) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+
+  DecodeFarmStats stats;
+  std::atomic<std::uint64_t> segments{0}, bytes{0}, decode_errors{0},
+      unknown_streams{0};
+
+  std::mutex streams_mutex;
+  std::map<std::uint32_t, std::unique_ptr<StreamState>> streams;
+
+  obs::Counter& decoded_counter =
+      obs::Registry::global().counter("speccal_net_segments_decoded_total");
+  obs::Counter& error_counter =
+      obs::Registry::global().counter("speccal_net_decode_errors_total");
+
+  const auto worker = [&] {
+    dsp::Buffer scratch;  // reused across segments: zero-alloc steady state
+    while (auto segment = queue.pop()) {
+      if (segment->size() > config_.max_segment_bytes) {
+        decode_errors.fetch_add(1, std::memory_order_relaxed);
+        error_counter.add();
+        continue;
+      }
+      SegmentView view;
+      if (parse_segment(segment->bytes, view) != DecodeStatus::kOk) {
+        decode_errors.fetch_add(1, std::memory_order_relaxed);
+        error_counter.add();
+        continue;
+      }
+      if (manifests_.find(view.header.stream_id) == manifests_.end()) {
+        unknown_streams.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      decode_payload(view, scratch);
+      segments.fetch_add(1, std::memory_order_relaxed);
+      bytes.fetch_add(segment->size(), std::memory_order_relaxed);
+      decoded_counter.add();
+
+      StreamState* stream;
+      {
+        const std::scoped_lock lock(streams_mutex);
+        auto& slot = streams[view.header.stream_id];
+        if (!slot) slot = std::make_unique<StreamState>();
+        stream = slot.get();
+      }
+      const std::scoped_lock lock(stream->mutex);
+      if (view.header.sequence == stream->next_seq) {
+        stream->apply(view.header, scratch);
+        ++stream->next_seq;
+        // Drain everything this arrival unblocked.
+        for (auto it = stream->stash.find(stream->next_seq);
+             it != stream->stash.end();
+             it = stream->stash.find(stream->next_seq)) {
+          stream->apply(it->second.header, it->second.samples);
+          stream->stash.erase(it);
+          ++stream->next_seq;
+        }
+      } else if (view.header.sequence > stream->next_seq) {
+        stream->stash.emplace(
+            view.header.sequence,
+            DecodedPiece{view.header,
+                         dsp::Buffer(scratch.begin(), scratch.end())});
+      }
+      // A sequence below next_seq is a duplicate: already applied, drop it.
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(config_.decode_threads);
+  for (unsigned i = 0; i < config_.decode_threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  stats.segments = segments.load();
+  stats.bytes = bytes.load();
+  stats.decode_errors = decode_errors.load();
+  stats.unknown_streams = unknown_streams.load();
+  stats.decode_wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  if (stats.decode_wall_s > 0.0) {
+    stats.segments_per_s =
+        static_cast<double>(stats.segments) / stats.decode_wall_s;
+    stats.mbytes_per_s =
+        static_cast<double>(stats.bytes) / 1e6 / stats.decode_wall_s;
+  }
+
+  // Decode phase done (queue closed and drained): calibrate every stream
+  // that completed. std::map order makes the job list deterministic.
+  std::vector<calib::FleetJob> jobs;
+  for (auto& [stream_id, stream] : streams) {
+    stats.captures += stream->captures;
+    stats.samples += stream->samples;
+    if (!stream->eos || !stream->stash.empty()) {
+      ++stats.nodes_incomplete;  // missing EOS or gaps in the sequence
+      continue;
+    }
+    ++stats.nodes_ready;
+    const NodeManifest& manifest = manifests_.at(stream_id);
+    calib::ReplayNodeData data;
+    data.claims = manifest.claims;
+    data.info = manifest.info;
+    data.position = manifest.position;
+    data.rx = manifest.rx;
+    data.records = stream->records;
+    jobs.push_back(calib::make_replay_job(std::move(data)));
+  }
+
+  if (!jobs.empty()) {
+    calib::FleetCalibrator calibrator(world_, run_);
+    const calib::FleetSummary summary =
+        calibrator.run(std::move(jobs), registry);
+    stats.nodes_calibrated = summary.calibrated;
+    stats.nodes_failed = summary.failed;
+    stats.faults = summary.faults;
+  }
+
+  stats.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  return stats;
+}
+
+}  // namespace speccal::net

@@ -1,0 +1,109 @@
+#include "net/queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace speccal::net {
+
+SegmentQueue::SegmentQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SegmentQueue.capacity must be >= 1");
+  }
+  ring_.resize(capacity_);
+}
+
+bool SegmentQueue::push_locked(Segment&& segment) {
+  ring_[(head_ + count_) % capacity_] = std::move(segment);
+  ++count_;
+  ++stats_.pushed;
+  if (count_ > stats_.peak_depth) stats_.peak_depth = count_;
+  return true;
+}
+
+void SegmentQueue::pop_locked(Segment& out) {
+  out = std::move(ring_[head_]);
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  ++stats_.popped;
+}
+
+bool SegmentQueue::push(Segment&& segment) {
+  {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
+    if (closed_) {
+      ++stats_.rejected;
+      return false;
+    }
+    push_locked(std::move(segment));
+  }
+  obs::Registry::global().counter("speccal_net_queue_pushed_total").add();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool SegmentQueue::try_push(Segment&& segment) {
+  {
+    std::unique_lock lock(mutex_);
+    if (closed_ || count_ == capacity_) {
+      ++stats_.rejected;
+      return false;
+    }
+    push_locked(std::move(segment));
+  }
+  obs::Registry::global().counter("speccal_net_queue_pushed_total").add();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Segment> SegmentQueue::pop() {
+  Segment out;
+  {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    pop_locked(out);
+  }
+  obs::Registry::global().counter("speccal_net_queue_popped_total").add();
+  not_full_.notify_one();
+  return out;
+}
+
+bool SegmentQueue::try_pop(Segment& out) {
+  {
+    std::unique_lock lock(mutex_);
+    if (count_ == 0) return false;
+    pop_locked(out);
+  }
+  obs::Registry::global().counter("speccal_net_queue_popped_total").add();
+  not_full_.notify_one();
+  return true;
+}
+
+void SegmentQueue::close() {
+  {
+    std::unique_lock lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool SegmentQueue::closed() const {
+  std::unique_lock lock(mutex_);
+  return closed_;
+}
+
+std::size_t SegmentQueue::size() const {
+  std::unique_lock lock(mutex_);
+  return count_;
+}
+
+SegmentQueue::Stats SegmentQueue::stats() const {
+  std::unique_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace speccal::net

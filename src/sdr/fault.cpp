@@ -195,6 +195,34 @@ const std::vector<FaultSpec>* FaultProfile::faults_for(
   return nullptr;
 }
 
+void FaultProfile::validate() const {
+  if (retry_max_attempts < 1)
+    throw std::invalid_argument("FaultProfile.retry_max_attempts must be >= 1");
+  if (initial_backoff_s < 0.0)
+    throw std::invalid_argument("FaultProfile.initial_backoff_s must be >= 0");
+  if (stage_deadline_s < 0.0)
+    throw std::invalid_argument("FaultProfile.stage_deadline_s must be >= 0");
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const auto where = [n](std::size_t f) {
+      return "FaultProfile.nodes[" + std::to_string(n) + "].faults[" +
+             std::to_string(f) + "]";
+    };
+    for (std::size_t f = 0; f < nodes[n].faults.size(); ++f) {
+      const FaultSpec& spec = nodes[n].faults[f];
+      if (spec.probability < 0.0 || spec.probability > 1.0)
+        throw std::invalid_argument(where(f) +
+                                    ".probability must be in [0, 1]");
+      if (spec.kind == FaultKind::kShortRead &&
+          (spec.param < 0.0 || spec.param > 1.0))
+        throw std::invalid_argument(
+            where(f) + ".param (short-read fraction) must be in [0, 1]");
+      if (spec.kind == FaultKind::kStall && spec.param < 0.0)
+        throw std::invalid_argument(where(f) +
+                                    ".param (stall seconds) must be >= 0");
+    }
+  }
+}
+
 std::unique_ptr<Device> FaultProfile::wrap(std::unique_ptr<Device> device,
                                            std::size_t node_index) const {
   const std::vector<FaultSpec>* faults = faults_for(node_index);
@@ -428,14 +456,18 @@ FaultProfile chaos_profile() {
 }  // namespace
 
 FaultProfile make_fault_profile(std::string_view name_or_json) {
+  const auto validated = [](FaultProfile profile) {
+    profile.validate();
+    return profile;
+  };
   // Inline JSON document?
   const auto non_ws = name_or_json.find_first_not_of(" \t\r\n");
   if (non_ws != std::string_view::npos && name_or_json[non_ws] == '{')
-    return ProfileParser(name_or_json).parse();
+    return validated(ProfileParser(name_or_json).parse());
 
   if (name_or_json == "none") return FaultProfile{};
-  if (name_or_json == "flaky20") return flaky20_profile();
-  if (name_or_json == "chaos") return chaos_profile();
+  if (name_or_json == "flaky20") return validated(flaky20_profile());
+  if (name_or_json == "chaos") return validated(chaos_profile());
   throw std::invalid_argument(
       "unknown fault profile '" + std::string(name_or_json) +
       "' (built-ins: none, flaky20, chaos; or an inline JSON document)");

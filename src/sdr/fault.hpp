@@ -148,6 +148,11 @@ struct FaultProfile {
   std::vector<NodeFaults> nodes;
 
   [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  /// Throws std::invalid_argument naming the field (e.g.
+  /// "FaultProfile.retry_max_attempts must be >= 1") on out-of-range values
+  /// — the shared config-validation convention (DESIGN.md §13).
+  /// make_fault_profile() calls this on every profile it returns.
+  void validate() const;
   [[nodiscard]] const std::vector<FaultSpec>* faults_for(
       std::size_t node_index) const noexcept;
   /// Wrap `device` in a FaultInjectingDevice when node `node_index` has

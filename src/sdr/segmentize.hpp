@@ -1,0 +1,80 @@
+// Producer side of the Electrosense+ split: record any Device's captures
+// as wire segments.
+//
+// `SegmentizingDevice` is a transparent decorator (like FaultInjectingDevice
+// with an empty schedule): every call forwards to the wrapped device
+// unchanged, and every capture's samples + tuner state are additionally
+// encoded through a net::SegmentWriter and handed to a sink — typically
+// `queue.push(...)` feeding a decode farm. Because the decorator never
+// perturbs the wrapped device, the producer's own calibration run doubles
+// as the in-process baseline for the bitwise round-trip gate.
+//
+// The end-of-stream marker is emitted by finish(), or by the destructor if
+// finish() was never called — the fleet engine destroys each node's device
+// at finalize, which is exactly when its stream is complete.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/segment.hpp"
+#include "sdr/device.hpp"
+
+namespace speccal::sdr {
+
+/// Decorator recording every capture of `inner` as wire segments. Not
+/// thread-safe (like Device itself: one device per fleet worker).
+class SegmentizingDevice final : public Device {
+ public:
+  using Sink = std::function<void(net::Segment&&)>;
+
+  /// Validates `config` (throws std::invalid_argument naming the field).
+  /// `sink` receives every encoded segment, on whichever thread drives the
+  /// device.
+  SegmentizingDevice(std::unique_ptr<Device> inner, net::SegmentWriterConfig config,
+                     std::uint32_t stream_id, Sink sink);
+
+  /// Emits the end-of-stream marker if finish() was never called.
+  ~SegmentizingDevice() override;
+
+  /// Emit the end-of-stream marker. Idempotent; called implicitly by the
+  /// destructor.
+  void finish();
+
+  // Device interface --------------------------------------------------------
+  [[nodiscard]] DeviceInfo info() const override { return inner_->info(); }
+  [[nodiscard]] geo::Geodetic position() const override { return inner_->position(); }
+  [[nodiscard]] SimControl* sim_control() noexcept override {
+    return inner_->sim_control();
+  }
+  bool tune(double center_freq_hz, double sample_rate_hz) override {
+    return inner_->tune(center_freq_hz, sample_rate_hz);
+  }
+  void set_gain_mode(GainMode mode) override { inner_->set_gain_mode(mode); }
+  void set_gain_db(double gain_db) override { inner_->set_gain_db(gain_db); }
+  [[nodiscard]] double gain_db() const override { return inner_->gain_db(); }
+  [[nodiscard]] dsp::Buffer capture(std::size_t count) override;
+  void capture_into(std::span<dsp::Sample> out) override;
+  [[nodiscard]] double stream_time_s() const override {
+    return inner_->stream_time_s();
+  }
+  [[nodiscard]] double center_freq_hz() const override {
+    return inner_->center_freq_hz();
+  }
+  [[nodiscard]] double sample_rate_hz() const override {
+    return inner_->sample_rate_hz();
+  }
+
+  [[nodiscard]] Device& inner() noexcept { return *inner_; }
+  [[nodiscard]] const net::SegmentWriter& writer() const noexcept { return writer_; }
+
+ private:
+  void record(double timestamp_s, std::span<const dsp::Sample> samples);
+
+  std::unique_ptr<Device> inner_;
+  net::SegmentWriter writer_;
+  Sink sink_;
+  bool finished_ = false;
+};
+
+}  // namespace speccal::sdr

@@ -235,9 +235,10 @@ TEST(FleetExecutor, SingleThreadBitwiseEqualsDirectPipeline) {
   const auto dev = sc::make_owned_node(sc::Site::kRooftop, world, kSeed);
   const auto direct = pipeline.calibrate(*dev, claims);
 
-  cal::FleetConfig cfg;
-  cfg.threads = 1;
-  cal::FleetCalibrator calibrator(pipeline, cfg);
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.executor.threads = 1;
+  cal::FleetCalibrator calibrator(world, run);
   cal::NodeRegistry registry;
   auto jobs = seeded_fleet(world, 1);
   const auto summary = calibrator.run(std::move(jobs), registry);
@@ -253,14 +254,15 @@ TEST(FleetExecutor, SingleThreadBitwiseEqualsDirectPipeline) {
 
 TEST(FleetExecutor, CancellationLeavesNoOrphanTasks) {
   const auto world = sc::make_world(kSeed);
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.executor.threads = 1;
   cal::FleetConfig cfg;
-  cfg.threads = 1;
   cal::FleetCalibrator* target = nullptr;
   cfg.on_progress = [&target](const cal::FleetProgress& p) {
     if (p.completed == 2 && target != nullptr) target->request_cancel();
   };
-  cal::FleetCalibrator fleet(cal::CalibrationPipeline(world, fast_config()),
-                             cfg);
+  cal::FleetCalibrator fleet(world, run, cfg);
   target = &fleet;
 
   cal::NodeRegistry registry;
@@ -367,6 +369,6 @@ TEST(RunConfig, FleetCtorValidatesAndAppliesThreads) {
   good.pipeline = fast_config();
   good.executor.threads = 3;
   cal::FleetCalibrator calibrator(world, good);
-  EXPECT_EQ(calibrator.config().threads, 3u);
+  EXPECT_EQ(calibrator.threads(), 3u);
   EXPECT_EQ(calibrator.effective_threads(100), 3u);
 }

@@ -495,10 +495,10 @@ TEST(ChaosFleet, DeadNodeQuarantinedWhileHealthyNodesStayBitwiseIdentical) {
        {{sdr::FaultOp::kCapture, sdr::FaultKind::kThrow, 0, -1, 0.0, 1.0}}});
 
   auto run_fleet = [&](const sdr::FaultProfile& profile) {
-    cal::FleetConfig fleet_cfg;
-    fleet_cfg.threads = 4;
-    cal::FleetCalibrator calibrator(
-        cal::CalibrationPipeline(world, chaos_config()), fleet_cfg);
+    cal::RunConfig run;
+    run.pipeline = chaos_config();
+    run.executor.threads = 4;
+    cal::FleetCalibrator calibrator(world, run);
     auto registry = std::make_unique<cal::NodeRegistry>();
     const auto summary =
         calibrator.run(fleet_jobs(world, kFleet, profile), *registry);
@@ -509,10 +509,10 @@ TEST(ChaosFleet, DeadNodeQuarantinedWhileHealthyNodesStayBitwiseIdentical) {
   const auto [chaos_summary, chaos_registry] = run_fleet(one_dead);
 
   EXPECT_EQ(clean_summary.failed, 0u);
-  EXPECT_EQ(clean_summary.quarantined, 0u);
+  EXPECT_EQ(clean_summary.faults.quarantined, 0u);
   EXPECT_EQ(chaos_summary.calibrated, kFleet);
   EXPECT_EQ(chaos_summary.failed, 0u);       // quarantine, not abort
-  EXPECT_EQ(chaos_summary.quarantined, 1u);  // exactly the dead node
+  EXPECT_EQ(chaos_summary.faults.quarantined, 1u);  // exactly the dead node
 
   for (std::size_t i = 0; i < kFleet; ++i) {
     const std::string id = "node-" + std::to_string(i);
@@ -536,22 +536,21 @@ TEST(ChaosFleet, Flaky20ProfileRecoversAndQuarantinesAsScripted) {
   const auto world = sc::make_world(kSeed);
   const auto profile = sdr::make_fault_profile("flaky20");
 
-  cal::PipelineConfig cfg = chaos_config();
-  cfg.retry.max_attempts = profile.retry_max_attempts;
-  cfg.retry.initial_backoff_s = profile.initial_backoff_s;
-
-  cal::FleetConfig fleet_cfg;
-  fleet_cfg.threads = 4;
-  cal::FleetCalibrator calibrator(cal::CalibrationPipeline(world, cfg),
-                                  fleet_cfg);
+  cal::RunConfig run;
+  run.pipeline = chaos_config();
+  run.retry = run.pipeline.retry;
+  run.retry.max_attempts = profile.retry_max_attempts;
+  run.retry.initial_backoff_s = profile.initial_backoff_s;
+  run.executor.threads = 4;
+  cal::FleetCalibrator calibrator(world, run);
   cal::NodeRegistry registry;
   const std::uint64_t retries_before = counter_value("speccal_retry_attempts_total");
   const auto summary = calibrator.run(fleet_jobs(world, 20, profile), registry);
 
   EXPECT_EQ(summary.calibrated, 20u);
   EXPECT_EQ(summary.failed, 0u);
-  EXPECT_EQ(summary.quarantined, profile.expected_quarantined_nodes);
-  EXPECT_EQ(summary.recovered, 3u);  // nodes 2, 7, 12 recover on retry
+  EXPECT_EQ(summary.faults.quarantined, profile.expected_quarantined_nodes);
+  EXPECT_EQ(summary.faults.recovered, 3u);  // nodes 2, 7, 12 recover on retry
   EXPECT_GE(counter_value("speccal_retry_attempts_total"), retries_before + 6);
 
   const auto* dead = registry.find("node-5");

@@ -77,12 +77,12 @@ class UntunableDevice final : public sdr::Device {
 
 TEST(Fleet, ParallelMatchesSerialBitwise) {
   const auto world = sc::make_world(kSeed);
-  cal::CalibrationPipeline pipeline(world, fast_config());
 
   auto run_with = [&](unsigned threads) {
-    cal::FleetConfig cfg;
-    cfg.threads = threads;
-    cal::FleetCalibrator calibrator(pipeline, cfg);
+    cal::RunConfig run;
+    run.pipeline = fast_config();
+    run.executor.threads = threads;
+    cal::FleetCalibrator calibrator(world, run);
     cal::NodeRegistry registry;
     const auto summary = calibrator.run(seeded_fleet(world, 9), registry);
     EXPECT_EQ(summary.calibrated, 9u);
@@ -104,7 +104,6 @@ TEST(Fleet, ParallelMatchesSerialBitwise) {
 
 TEST(Fleet, BrokenNodeIsIsolatedNotFatal) {
   const auto world = sc::make_world(kSeed);
-  cal::CalibrationPipeline pipeline(world, fast_config());
 
   auto jobs = seeded_fleet(world, 4);
   // Node 4: tunes always refused. The model-level survey throws (no sim
@@ -123,11 +122,13 @@ TEST(Fleet, BrokenNodeIsIsolatedNotFatal) {
   };
   jobs.push_back(std::move(doa));
 
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.executor.threads = 3;
   cal::FleetConfig cfg;
-  cfg.threads = 3;
   std::atomic<int> progress_calls{0};
   cfg.on_progress = [&](const cal::FleetProgress&) { ++progress_calls; };
-  cal::FleetCalibrator calibrator(pipeline, cfg);
+  cal::FleetCalibrator calibrator(world, run, cfg);
   cal::NodeRegistry registry;
   const auto summary = calibrator.run(std::move(jobs), registry);
 
@@ -174,10 +175,11 @@ TEST(Fleet, UntunableDeviceCompletesUnderWaveformFidelity) {
   // Waveform fidelity works on any Device; refused tunes must degrade to a
   // completed (not aborted) report that the trust layer tears apart.
   const auto world = sc::make_world(kSeed);
-  cal::PipelineConfig cfg = fast_config();
-  cfg.survey.fidelity = cal::Fidelity::kWaveform;
-  cfg.survey.duration_s = 0.25;  // keep the waveform window cheap
-  cal::CalibrationPipeline pipeline(world, cfg);
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.pipeline.survey.fidelity = cal::Fidelity::kWaveform;
+  run.pipeline.survey.duration_s = 0.25;  // keep the waveform window cheap
+  run.executor.threads = 1;
 
   cal::FleetJob job;
   job.claims.node_id = "untunable-waveform";
@@ -187,7 +189,7 @@ TEST(Fleet, UntunableDeviceCompletesUnderWaveformFidelity) {
     return std::unique_ptr<sdr::Device>(new UntunableDevice);
   };
 
-  cal::FleetCalibrator calibrator(pipeline, cal::FleetConfig{1, nullptr});
+  cal::FleetCalibrator calibrator(world, run);
   cal::NodeRegistry registry;
   std::vector<cal::FleetJob> jobs;
   jobs.push_back(std::move(job));
@@ -208,17 +210,18 @@ TEST(Fleet, UntunableDeviceCompletesUnderWaveformFidelity) {
 
 TEST(Fleet, CancellationSkipsQueuedJobs) {
   const auto world = sc::make_world(kSeed);
-  cal::CalibrationPipeline pipeline(world, fast_config());
 
   // The progress callback cancels the engine it reports on: a batch that
   // stops itself after two nodes.
   cal::FleetCalibrator* self = nullptr;
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.executor.threads = 1;  // deterministic: exactly two nodes complete
   cal::FleetConfig cfg;
-  cfg.threads = 1;  // deterministic: exactly two nodes complete
   cfg.on_progress = [&self](const cal::FleetProgress& p) {
     if (p.completed == 2) self->request_cancel();
   };
-  cal::FleetCalibrator engine(pipeline, cfg);
+  cal::FleetCalibrator engine(world, run, cfg);
   self = &engine;
   cal::NodeRegistry registry;
   const auto summary = engine.run(seeded_fleet(world, 6), registry);
@@ -230,10 +233,10 @@ TEST(Fleet, CancellationSkipsQueuedJobs) {
 
 TEST(Fleet, StageMetricsAggregateAcrossFleet) {
   const auto world = sc::make_world(kSeed);
-  cal::FleetConfig cfg;
-  cfg.threads = 2;
-  cal::FleetCalibrator calibrator(cal::CalibrationPipeline(world, fast_config()),
-                                  cfg);
+  cal::RunConfig run;
+  run.pipeline = fast_config();
+  run.executor.threads = 2;
+  cal::FleetCalibrator calibrator(world, run);
   cal::NodeRegistry registry;
   const auto summary = calibrator.run(seeded_fleet(world, 6), registry);
 

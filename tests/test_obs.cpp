@@ -351,11 +351,11 @@ TEST(Integration, FleetRunEmitsNestedSpanTreeAndCounters) {
   cfg.survey.duration_s = 10.0;
 
   obs::TraceSession session;
-  cal::FleetConfig fleet_cfg;
-  fleet_cfg.threads = 2;
-  fleet_cfg.trace = &session;
-  cal::FleetCalibrator calibrator(cal::CalibrationPipeline(world, cfg),
-                                  fleet_cfg);
+  cal::RunConfig run;
+  run.pipeline = cfg;
+  run.executor.threads = 2;
+  run.executor.trace = &session;
+  cal::FleetCalibrator calibrator(world, run);
 
   obs::Counter& nodes =
       obs::Registry::global().counter("speccal_fleet_nodes_total");

@@ -1,30 +1,22 @@
 // Tests: measurement-window planning (§5 end-to-end system).
 #include <gtest/gtest.h>
 
-#include "calib/scheduler.hpp"  // deprecated shim — must keep forwarding
 #include "calib/window_planner.hpp"
 
 namespace cal = speccal::calib;
 
-TEST(WindowPlanner, ClassApiMatchesFreeFunction) {
+TEST(WindowPlanner, ConfigIsCarried) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 4;
   cfg.min_marginal_gain = 0.0;
-  const std::vector<cal::TrafficForecast> profile{{0.0, 5.0}, {8.0, 60.0},
-                                                  {18.0, 80.0}};
   const cal::WindowPlanner planner(cfg);
   EXPECT_EQ(planner.config().max_windows, 4u);
-  const auto via_class = planner.plan(profile);
-  const auto via_free = cal::plan_measurements(profile, cfg);
-  ASSERT_EQ(via_class.windows.size(), via_free.windows.size());
-  EXPECT_DOUBLE_EQ(via_class.expected_total_coverage,
-                   via_free.expected_total_coverage);
-  for (std::size_t i = 0; i < via_class.windows.size(); ++i)
-    EXPECT_DOUBLE_EQ(via_class.windows[i].hour_of_day,
-                     via_free.windows[i].hour_of_day);
+  const std::vector<cal::TrafficForecast> profile{{0.0, 5.0}, {8.0, 60.0},
+                                                  {18.0, 80.0}};
+  EXPECT_EQ(planner.plan(profile).windows.size(), 3u);
 }
 
-TEST(Scheduler, CoverageFunctionProperties) {
+TEST(WindowPlanner, CoverageFunctionProperties) {
   // Zero aircraft cover nothing; infinite traffic covers everything.
   EXPECT_DOUBLE_EQ(cal::expected_sector_coverage(0.0, 36), 0.0);
   EXPECT_NEAR(cal::expected_sector_coverage(10000.0, 36), 1.0, 1e-6);
@@ -53,13 +45,17 @@ std::vector<cal::TrafficForecast> day_profile() {
   }
   return f;
 }
+
+cal::Schedule plan_day(const cal::ScheduleConfig& cfg) {
+  return cal::WindowPlanner(cfg).plan(day_profile());
+}
 }  // namespace
 
-TEST(Scheduler, PicksBusyHoursFirst) {
+TEST(WindowPlanner, PicksBusyHoursFirst) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 3;
   cfg.min_marginal_gain = 0.0;
-  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  const auto schedule = plan_day(cfg);
   ASSERT_EQ(schedule.windows.size(), 3u);
   for (const auto& w : schedule.windows) {
     EXPECT_TRUE((w.hour_of_day >= 7 && w.hour_of_day <= 10) ||
@@ -68,11 +64,11 @@ TEST(Scheduler, PicksBusyHoursFirst) {
   }
 }
 
-TEST(Scheduler, MarginalGainDecreases) {
+TEST(WindowPlanner, MarginalGainDecreases) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 6;
   cfg.min_marginal_gain = 0.0;
-  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  const auto schedule = plan_day(cfg);
   // Re-sort by gain (output is sorted by hour) and check the greedy
   // picks were decreasing.
   std::vector<double> gains;
@@ -86,34 +82,34 @@ TEST(Scheduler, MarginalGainDecreases) {
   EXPECT_LE(schedule.expected_total_coverage, 1.0);
 }
 
-TEST(Scheduler, StopsWhenGainExhausted) {
+TEST(WindowPlanner, StopsWhenGainExhausted) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 24;
   cfg.min_marginal_gain = 0.05;
-  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  const auto schedule = plan_day(cfg);
   // With a 5% floor the long tail of redundant windows is skipped.
   EXPECT_LT(schedule.windows.size(), 10u);
   EXPECT_GE(schedule.windows.size(), 1u);
 }
 
-TEST(Scheduler, RespectsMaxWindows) {
+TEST(WindowPlanner, RespectsMaxWindows) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 2;
   cfg.min_marginal_gain = 0.0;
-  EXPECT_EQ(cal::plan_measurements(day_profile(), cfg).windows.size(), 2u);
+  EXPECT_EQ(plan_day(cfg).windows.size(), 2u);
 }
 
-TEST(Scheduler, EmptyForecast) {
-  const auto schedule = cal::plan_measurements({});
+TEST(WindowPlanner, EmptyForecast) {
+  const auto schedule = cal::WindowPlanner().plan({});
   EXPECT_TRUE(schedule.windows.empty());
   EXPECT_DOUBLE_EQ(schedule.expected_total_coverage, 0.0);
 }
 
-TEST(Scheduler, OutputSortedByHour) {
+TEST(WindowPlanner, OutputSortedByHour) {
   cal::ScheduleConfig cfg;
   cfg.max_windows = 5;
   cfg.min_marginal_gain = 0.0;
-  const auto schedule = cal::plan_measurements(day_profile(), cfg);
+  const auto schedule = plan_day(cfg);
   for (std::size_t i = 1; i < schedule.windows.size(); ++i)
     EXPECT_LT(schedule.windows[i - 1].hour_of_day, schedule.windows[i].hour_of_day);
 }
