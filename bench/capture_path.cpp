@@ -27,6 +27,7 @@
 #include "dsp/fir.hpp"
 #include "dsp/iq.hpp"
 #include "dsp/nco.hpp"
+#include "dsp/simd.hpp"
 #include "sdr/emitter.hpp"
 #include "sdr/sim.hpp"
 #include "util/json.hpp"
@@ -214,6 +215,86 @@ Equivalence equivalence_self_check() {
   return eq;
 }
 
+/// One dispatched-vs-scalar SIMD kernel check (DESIGN.md §14). Elementwise
+/// kernels must agree bitwise (tolerance 0); reductions carry the
+/// documented tolerance. Any failure exits nonzero — CI gates on it.
+struct KernelCheck {
+  std::string name;
+  double max_abs_error = 0.0;
+  double tolerance = 0.0;
+  bool ok = false;
+};
+
+std::vector<KernelCheck> simd_equivalence_checks() {
+  // Odd length so every kernel's vector tail runs too.
+  constexpr std::size_t kN = 4097;
+  const auto x = noise_block(kN, 201);
+  const auto y = noise_block(kN, 202);
+  std::vector<float> window(kN);
+  {
+    util::Rng rng(203);
+    for (auto& v : window) v = static_cast<float>(rng.normal());
+  }
+  std::vector<KernelCheck> checks;
+  const auto push = [&checks](const std::string& name, double err, double tol) {
+    checks.push_back({name, err, tol, err <= tol});
+  };
+
+  {
+    std::vector<float> got(kN), want(kN);
+    dsp::simd::magnitude_squared(x.data(), got.data(), kN);
+    dsp::simd::scalar::magnitude_squared(x.data(), want.data(), kN);
+    double err = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      err = std::max(err, static_cast<double>(std::fabs(got[i] - want[i])));
+    push("magnitude_squared", err, 0.0);
+  }
+  {
+    std::vector<dsp::Sample> got(kN), want(kN);
+    dsp::simd::apply_window(x.data(), window.data(), got.data(), kN);
+    dsp::simd::scalar::apply_window(x.data(), window.data(), want.data(), kN);
+    double err = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      err = std::max(err, static_cast<double>(std::abs(got[i] - want[i])));
+    push("apply_window", err, 0.0);
+  }
+  {
+    auto got = x;
+    auto want = x;
+    dsp::simd::cmul_inplace(got.data(), y.data(), kN);
+    dsp::simd::scalar::cmul_inplace(want.data(), y.data(), kN);
+    double err = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      err = std::max(err, static_cast<double>(std::abs(got[i] - want[i])));
+    push("cmul_inplace", err, 0.0);
+  }
+  {
+    const double got = dsp::simd::sum_power(x.data(), kN);
+    const double want = dsp::simd::scalar::sum_power(x.data(), kN);
+    push("sum_power", std::fabs(got - want) / std::max(1.0, std::fabs(want)),
+         dsp::simd::kSimdEquivalenceTolerance);
+  }
+  {
+    const auto got = dsp::simd::dot_conj(x.data(), y.data(), kN);
+    const auto want = dsp::simd::scalar::dot_conj(x.data(), y.data(), kN);
+    push("dot_conj", std::abs(got - want) / std::max(1.0, std::abs(want)),
+         dsp::simd::kSimdEquivalenceTolerance);
+  }
+  {
+    // Block NCO vs the per-sample recurrence it replaced in the renderer.
+    dsp::Nco block_nco(-2.69e6, 8e6);
+    dsp::Nco ref_nco(-2.69e6, 8e6);
+    std::vector<dsp::Sample> got(kN), want(kN);
+    block_nco.add_tone(got, 0.7f);
+    for (auto& v : want) v += ref_nco.next() * 0.7f;
+    double err = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      err = std::max(err, static_cast<double>(std::abs(got[i] - want[i])));
+    push("nco_add_tone", err, dsp::simd::kSimdEquivalenceTolerance);
+  }
+  return checks;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +382,17 @@ int main(int argc, char** argv) {
     rows.push_back(pre);
     rows.push_back(post);
     speedups.emplace_back("nco_pilot", post.samples_per_s / pre.samples_per_s);
+
+    // Stage 3b: the SIMD-era block API against the per-sample phasor loop
+    // it replaced in the emitter render path.
+    dsp::Nco block_nco(-2.69e6, 8e6);
+    const auto block_post = time_variant("nco_pilot_block", "post_add_tone",
+                                         iters, [&] {
+                                           block_nco.add_tone(accum, 0.01f);
+                                         });
+    rows.push_back(block_post);
+    speedups.emplace_back("nco_pilot_block",
+                          block_post.samples_per_s / post.samples_per_s);
   }
 
   // Stage 4: the full simulated capture (render + noise + gain + ADC),
@@ -322,6 +414,7 @@ int main(int argc, char** argv) {
   }
 
   const Equivalence eq = equivalence_self_check();
+  const auto kernel_checks = simd_equivalence_checks();
 
   // ------------------------------------------------------------- report ----
   util::Table table({"stage", "variant", "Msamples/s"});
@@ -336,6 +429,11 @@ int main(int argc, char** argv) {
   std::cout << "convolver equivalence: max |err| = " << eq.max_abs_error
             << " (tolerance " << eq.tolerance << ") -> "
             << (eq.ok ? "ok" : "FAIL") << "\n";
+  std::cout << "simd backend: " << dsp::simd::backend_name() << "\n";
+  for (const auto& c : kernel_checks)
+    std::cout << "simd " << c.name << ": err = " << c.max_abs_error
+              << " (tolerance " << c.tolerance << ") -> "
+              << (c.ok ? "ok" : "FAIL") << "\n";
 
   std::ofstream os(json_path);
   if (!os) {
@@ -347,7 +445,9 @@ int main(int argc, char** argv) {
   w.key("bench");
   w.value("capture_path");
   w.key("schema_version");
-  w.value(1);
+  w.value(2);
+  w.key("simd_backend");
+  w.value(dsp::simd::backend_name());
   w.key("block_size");
   w.value(kBlock);
   w.key("results");
@@ -383,6 +483,21 @@ int main(int argc, char** argv) {
   w.key("ok");
   w.value(eq.ok);
   w.end_object();
+  w.key("simd_equivalence");
+  w.begin_array();
+  for (const auto& c : kernel_checks) {
+    w.begin_object();
+    w.key("name");
+    w.value(c.name);
+    w.key("max_abs_error");
+    w.value(c.max_abs_error);
+    w.key("tolerance");
+    w.value(c.tolerance);
+    w.key("ok");
+    w.value(c.ok);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   os << "\n";
 
@@ -390,6 +505,13 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: FftConvolver diverged from FirFilter beyond the "
                  "documented tolerance\n";
     return 1;
+  }
+  for (const auto& c : kernel_checks) {
+    if (!c.ok) {
+      std::cerr << "FAIL: SIMD kernel " << c.name
+                << " diverged from its scalar reference\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -21,12 +21,15 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/goertzel.hpp"
 #include "dsp/plan.hpp"
 #include "dsp/resampler.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/welch.hpp"
 #include "dsp/window.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 using namespace speccal;
 
@@ -84,6 +87,43 @@ std::vector<double> power_spectrum(std::span<const std::complex<float>> block,
   std::vector<double> spectrum(n);
   for (std::size_t k = 0; k < n; ++k) spectrum[k] = std::norm(work[k]) * scale;
   return spectrum;
+}
+
+/// The pre-streaming goertzel_power, verbatim: one bin per pass, a
+/// complex<double> rotation-accumulate (two double complex multiplies per
+/// sample) instead of the two-real-multiply recurrence.
+double goertzel_power(std::span<const std::complex<float>> block, double freq_hz,
+                      double sample_rate_hz) noexcept {
+  if (block.empty()) return 0.0;
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const std::complex<double> coeff(std::cos(w), std::sin(w));
+  std::complex<double> acc{};
+  std::complex<double> phasor(1.0, 0.0);
+  for (const auto& s : block) {
+    acc += std::complex<double>(s.real(), s.imag()) * std::conj(phasor);
+    phasor *= coeff;
+  }
+  const double n = static_cast<double>(block.size());
+  return std::norm(acc) / (n * n);
+}
+
+/// The pre-gate ADS-B first stage, verbatim: scalar |x|^2 followed by the
+/// per-position pulse-min / quiet-max compare.
+std::size_t preamble_scan(std::span<const std::complex<float>> samples,
+                          std::size_t n_positions) {
+  constexpr std::size_t kPulse[] = {0, 2, 7, 9};
+  constexpr std::size_t kQuiet[] = {1, 3, 5, 11, 13, 15};
+  std::vector<float> mag(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) mag[i] = std::norm(samples[i]);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n_positions; ++i) {
+    float pulse_min = mag[i + kPulse[0]];
+    for (std::size_t p : kPulse) pulse_min = std::min(pulse_min, mag[i + p]);
+    float quiet_max = 0.0f;
+    for (std::size_t q : kQuiet) quiet_max = std::max(quiet_max, mag[i + q]);
+    if (pulse_min > quiet_max) ++hits;
+  }
+  return hits;
 }
 
 }  // namespace legacy
@@ -265,28 +305,125 @@ CompareRow time_variant(const std::string& variant, std::size_t n,
   return row;
 }
 
-/// The acceptance comparison: 4096-point float power spectrum, pre-PR free
-/// function vs plan-based estimator, plus the Welch hop path for context.
+struct Comparison {
+  std::string name;
+  CompareRow before;
+  CompareRow after;
+
+  [[nodiscard]] double speedup() const noexcept {
+    return before.samples_per_s > 0.0 ? after.samples_per_s / before.samples_per_s
+                                      : 0.0;
+  }
+};
+
+/// The acceptance comparisons (schema v2, one speedup entry per row):
+///   - power_spectrum_4096_float: pre-plan free function vs plan estimator
+///     (the PR-3 row, kept for baseline continuity; the plan side now runs
+///     the SIMD butterfly/power kernels);
+///   - tv_vacant_channel_power_160k: full-capture Welch integrate vs the
+///     Goertzel pilot gate + abbreviated prefix — the gated-detector row
+///     CI's bench-smoke holds to >= 4x;
+///   - adsb_preamble_first_stage_64k: scalar |x|^2 + min/max scan vs the
+///     SIMD magnitude + candidate-bitmap kernels;
+///   - goertzel_pilot_probe_3bin_16k: legacy rotate-accumulate (one bin per
+///     pass) vs the streaming multi-bin recurrence.
 int write_bench_json(const std::string& path, std::size_t compare_iters) {
-  constexpr std::size_t kN = 4096;
-  const auto block = noise_block(kN, 42);
-  const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, kN);
+  std::vector<Comparison> comparisons;
 
-  const auto before = time_variant("pre_plan_free_function", kN, compare_iters,
-                                   [&] {
-                                     benchmark::DoNotOptimize(
-                                         legacy::power_spectrum(block, window));
-                                   });
+  {
+    constexpr std::size_t kN = 4096;
+    const auto block = noise_block(kN, 42);
+    const auto window = dsp::make_window(dsp::WindowType::kBlackmanHarris, kN);
+    Comparison c;
+    c.name = "power_spectrum_4096_float";
+    c.before = time_variant("pre_plan_free_function", kN, compare_iters, [&] {
+      benchmark::DoNotOptimize(legacy::power_spectrum(block, window));
+    });
+    dsp::SpectrumEstimator estimator(kN, window);
+    std::vector<double> out;
+    c.after = time_variant("fft_plan_estimator", kN, compare_iters, [&] {
+      estimator.estimate(block, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+    comparisons.push_back(std::move(c));
+  }
 
-  dsp::SpectrumEstimator estimator(kN, window);
-  std::vector<double> out;
-  const auto after = time_variant("fft_plan_estimator", kN, compare_iters, [&] {
-    estimator.estimate(block, out);
-    benchmark::DoNotOptimize(out.data());
-  });
+  {
+    // One vacant 20 ms TV channel at 8 Msps: integrate the whole capture vs
+    // probe the pilot with Goertzel and integrate the 10% prefix (exactly
+    // what tv::PowerMeter's gate does on a skip).
+    constexpr std::size_t kN = 160000;
+    constexpr double kFs = 8e6;
+    constexpr double kPilot = -2.690559e6;
+    const auto capture = noise_block(kN, 7);
+    dsp::WelchEstimator welch{dsp::WelchConfig{}};
+    dsp::WelchResult res;
+    Comparison c;
+    c.name = "tv_vacant_channel_power_160k";
+    c.before = time_variant("full_capture_welch", kN, compare_iters, [&] {
+      welch.estimate_into(capture, kFs, res);
+      benchmark::DoNotOptimize(dsp::band_power(res, kFs, -2.69e6, 2.69e6));
+    });
+    dsp::Goertzel probe({kPilot, kPilot + 250e3, kPilot - 250e3}, kFs);
+    const std::span<const std::complex<float>> span(capture);
+    c.after = time_variant("goertzel_gate_prefix", kN, compare_iters, [&] {
+      // 4 averaged sub-segments over the 10% gate prefix.
+      double pilot = 0.0, floor = 0.0;
+      for (std::size_t s = 0; s < 4; ++s) {
+        probe.reset();
+        probe.feed(span.subspan(s * 4000, 4000));
+        pilot += probe.power(0);
+        floor += 0.5 * (probe.power(1) + probe.power(2));
+      }
+      benchmark::DoNotOptimize(pilot);
+      if (pilot < util::db_to_ratio(6.0) * floor) {  // vacant: always true
+        welch.estimate_into(span.first(16000), kFs, res);
+        benchmark::DoNotOptimize(dsp::band_power(res, kFs, -2.69e6, 2.69e6));
+      }
+    });
+    comparisons.push_back(std::move(c));
+  }
 
-  const double speedup =
-      before.samples_per_s > 0.0 ? after.samples_per_s / before.samples_per_s : 0.0;
+  {
+    constexpr std::size_t kPositions = 65536;
+    const auto samples = noise_block(kPositions + 240, 8);
+    Comparison c;
+    c.name = "adsb_preamble_first_stage_64k";
+    c.before = time_variant("scalar_scan", kPositions, compare_iters, [&] {
+      benchmark::DoNotOptimize(legacy::preamble_scan(samples, kPositions));
+    });
+    std::vector<float> mag(samples.size());
+    std::vector<std::uint8_t> bitmap(kPositions);
+    c.after = time_variant("simd_bitmap", kPositions, compare_iters, [&] {
+      dsp::simd::magnitude_squared(samples.data(), mag.data(), samples.size());
+      dsp::simd::preamble_candidates(mag.data(), kPositions, bitmap.data());
+      benchmark::DoNotOptimize(bitmap.data());
+    });
+    comparisons.push_back(std::move(c));
+  }
+
+  {
+    constexpr std::size_t kN = 16384;
+    constexpr double kFs = 8e6;
+    const auto block = noise_block(kN, 9);
+    const std::vector<double> freqs = {-2.690559e6, -2.440559e6, -2.940559e6};
+    Comparison c;
+    c.name = "goertzel_pilot_probe_3bin_16k";
+    c.before = time_variant("rotate_accumulate", kN, compare_iters, [&] {
+      double total = 0.0;
+      for (double f : freqs) total += legacy::goertzel_power(block, f, kFs);
+      benchmark::DoNotOptimize(total);
+    });
+    dsp::Goertzel g(freqs, kFs);
+    c.after = time_variant("streaming_recurrence", kN, compare_iters, [&] {
+      g.reset();
+      g.feed(block);
+      double total = 0.0;
+      for (std::size_t b = 0; b < g.bin_count(); ++b) total += g.power(b);
+      benchmark::DoNotOptimize(total);
+    });
+    comparisons.push_back(std::move(c));
+  }
 
   std::ofstream os(path);
   if (!os) {
@@ -298,36 +435,45 @@ int write_bench_json(const std::string& path, std::size_t compare_iters) {
   w.key("bench");
   w.value("micro_dsp");
   w.key("schema_version");
-  w.value(1);
+  w.value(2);
+  w.key("simd_backend");
+  w.value(dsp::simd::backend_name());
   w.key("results");
   w.begin_array();
-  for (const auto& row : {before, after}) {
-    w.begin_object();
-    w.key("name");
-    w.value("power_spectrum_4096_float");
-    w.key("variant");
-    w.value(row.variant);
-    w.key("iterations");
-    w.value(row.iterations);
-    w.key("wall_s");
-    w.value(row.wall_s);
-    w.key("samples_per_s");
-    w.value(row.samples_per_s);
-    w.end_object();
+  for (const auto& c : comparisons) {
+    for (const auto* row : {&c.before, &c.after}) {
+      w.begin_object();
+      w.key("name");
+      w.value(c.name);
+      w.key("variant");
+      w.value(row->variant);
+      w.key("iterations");
+      w.value(row->iterations);
+      w.key("wall_s");
+      w.value(row->wall_s);
+      w.key("samples_per_s");
+      w.value(row->samples_per_s);
+      w.end_object();
+    }
   }
   w.end_array();
   w.key("speedup");
   w.begin_object();
-  w.key("power_spectrum_4096_float");
-  w.value(speedup);
+  for (const auto& c : comparisons) {
+    w.key(c.name);
+    w.value(c.speedup());
+  }
   w.end_object();
   w.end_object();
   os << "\n";
 
-  std::cout << "power_spectrum 4096-pt float: pre-plan "
-            << before.samples_per_s / 1e6 << " Msps, plan "
-            << after.samples_per_s / 1e6 << " Msps, speedup " << speedup
-            << "x -> " << path << "\n";
+  for (const auto& c : comparisons)
+    std::cout << c.name << ": " << c.before.variant << " "
+              << c.before.samples_per_s / 1e6 << " Msps, " << c.after.variant
+              << " " << c.after.samples_per_s / 1e6 << " Msps, speedup "
+              << c.speedup() << "x\n";
+  std::cout << "simd backend: " << dsp::simd::backend_name() << " -> " << path
+            << "\n";
   return 0;
 }
 

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "adsb/crc.hpp"
+#include "dsp/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace speccal::adsb {
@@ -86,30 +87,35 @@ std::vector<Detection> PpmDemodulator::process(std::span<const dsp::Sample> samp
 
   // Magnitude-squared stream (power); all decisions are power comparisons.
   std::vector<float> mag(samples.size());
-  for (std::size_t i = 0; i < samples.size(); ++i) mag[i] = std::norm(samples[i]);
+  dsp::simd::magnitude_squared(samples.data(), mag.data(), samples.size());
 
   const std::size_t last_start = samples.size() - kFrameSamples;
+
+  // --- Preamble pre-gate ---------------------------------------------------
+  // The vectorized candidate bitmap applies the strict first-stage test
+  // (every pulse above the loudest quiet sample) to every start position in
+  // one SIMD sweep. Pure min/max compares, so the bitmap is bit-identical to
+  // the scalar per-position check — zero false negatives by construction;
+  // the expensive ratio/slice/CRC stages run only where it fires.
+  std::vector<std::uint8_t> candidate(last_start + 1);
+  dsp::simd::preamble_candidates(mag.data(), last_start + 1, candidate.data());
+
+  std::uint64_t gate_pass = 0;
+  std::uint64_t gate_skip = 0;
   for (std::size_t i = 0; i <= last_start; ++i) {
-    // --- Preamble gate -----------------------------------------------------
+    if (!candidate[i]) {
+      ++gate_skip;
+      continue;
+    }
+    ++gate_pass;
     float pulse_sum = 0.0f;
-    float pulse_min = mag[i + kPulseIdx[0]];
-    for (std::size_t p : kPulseIdx) {
-      const float v = mag[i + p];
-      pulse_sum += v;
-      pulse_min = std::min(pulse_min, v);
-    }
+    for (std::size_t p : kPulseIdx) pulse_sum += mag[i + p];
     float quiet_sum = 0.0f;
-    float quiet_max = 0.0f;
-    for (std::size_t q : kQuietIdx) {
-      const float v = mag[i + q];
-      quiet_sum += v;
-      quiet_max = std::max(quiet_max, v);
-    }
+    for (std::size_t q : kQuietIdx) quiet_sum += mag[i + q];
     const float pulse_avg = pulse_sum / static_cast<float>(kPulseIdx.size());
     const float quiet_avg = quiet_sum / static_cast<float>(kQuietIdx.size());
-    // Every pulse must rise above the loudest quiet sample, and the average
-    // pulse power must clear the configured ratio over the quiet floor.
-    if (pulse_min <= quiet_max) continue;
+    // The average pulse power must clear the configured ratio over the
+    // quiet floor.
     if (pulse_avg < static_cast<float>(config_.preamble_snr_ratio) *
                         std::max(quiet_avg, 1e-12f))
       continue;
@@ -179,6 +185,14 @@ std::vector<Detection> PpmDemodulator::process(std::span<const dsp::Sample> samp
 
     i += kPreambleSamples + 2 * bits - 1;  // skip past this frame
   }
+
+  // Gate skip rates feed the fleet dashboards (DESIGN.md §14).
+  static obs::Counter& gate_pass_total = obs::Registry::global().counter(
+      "speccal_gate_adsb_preamble_pass_total");
+  static obs::Counter& gate_skip_total = obs::Registry::global().counter(
+      "speccal_gate_adsb_preamble_skip_total");
+  gate_pass_total.add(gate_pass);
+  gate_skip_total.add(gate_skip);
   return out;
 }
 

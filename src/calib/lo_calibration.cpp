@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "dsp/goertzel.hpp"
 #include "dsp/plan.hpp"
+#include "obs/metrics.hpp"
 #include "tv/channels.hpp"
 
 namespace speccal::calib {
@@ -13,6 +15,43 @@ namespace {
 /// Offset at which we park the pilot in baseband (off DC, where real
 /// receivers have an offset spike).
 constexpr double kPilotParkHz = -250e3;
+
+/// Goertzel refinement around a coarse peak estimate: evaluate the unpadded
+/// DFT power on a fine grid (quarter-bin spacing, +/- one bin) and take a
+/// parabolic fit through the grid maximum. Unlike the zero-padded FFT grid,
+/// Goertzel evaluates at arbitrary fractional frequencies, so the fit is
+/// centred on the tone rather than the nearest padded bin.
+[[nodiscard]] double goertzel_refine_peak(std::span<const dsp::Sample> capture,
+                                          double coarse_hz, double bin_hz,
+                                          double sample_rate_hz) {
+  constexpr std::size_t kGridPoints = 9;
+  const double step = bin_hz / 4.0;
+  std::vector<double> freqs(kGridPoints);
+  for (std::size_t k = 0; k < kGridPoints; ++k)
+    freqs[k] = coarse_hz + (static_cast<double>(k) - 4.0) * step;
+  if (freqs.front() <= -sample_rate_hz / 2.0 || freqs.back() >= sample_rate_hz / 2.0)
+    return coarse_hz;
+
+  dsp::Goertzel comb(freqs, sample_rate_hz);
+  comb.feed(capture);
+  std::size_t best = 0;
+  double best_power = -1.0;
+  for (std::size_t k = 0; k < kGridPoints; ++k) {
+    const double p = comb.power(k);
+    if (p > best_power) {
+      best_power = p;
+      best = k;
+    }
+  }
+  double refine = 0.0;
+  if (best > 0 && best + 1 < kGridPoints) {
+    const double prev = comb.power(best - 1);
+    const double next = comb.power(best + 1);
+    const double denom = prev - 2.0 * best_power + next;
+    if (std::fabs(denom) > 1e-30) refine = 0.5 * (prev - next) / denom * step;
+  }
+  return freqs[best] + refine;
+}
 }  // namespace
 
 LoCalibrationResult calibrate_lo(sdr::Device& device,
@@ -43,8 +82,10 @@ LoCalibrationResult calibrate_lo(sdr::Device& device,
     }
     const dsp::Buffer capture = device.capture(samples);
 
-    // Zero-padded FFT peak search inside the expected window (a Goertzel
-    // comb at this resolution would cost ~1000x more).
+    // Zero-padded FFT peak search inside the expected window. (A Goertzel
+    // comb covering the whole window at this resolution would cost ~1000x
+    // more than the FFT, so Goertzel enters only after the peak is found —
+    // as a fine-grid refinement around it, gated on the SNR test below.)
     estimator.estimate(capture, spectrum);
     const double fft_size = static_cast<double>(spectrum.size());
     const double bin_hz = config.sample_rate_hz / fft_size;
@@ -73,7 +114,14 @@ LoCalibrationResult calibrate_lo(sdr::Device& device,
     const double floor = std::max(sorted[sorted.size() / 2], 1e-20);
     meas.pilot_snr_db = 10.0 * std::log10(peak_power / floor);
 
+    // The Goertzel refinement stage is gated on the SNR test: channels with
+    // no detectable pilot skip it (their FFT verdict — invalid — stands).
+    static obs::Counter& refine_pass = obs::Registry::global().counter(
+        "speccal_gate_lo_refine_pass_total");
+    static obs::Counter& refine_skip = obs::Registry::global().counter(
+        "speccal_gate_lo_refine_skip_total");
     if (meas.pilot_snr_db >= config.min_pilot_snr_db) {
+      refine_pass.add();
       // Parabolic interpolation over the peak bin and its neighbours.
       double refine = 0.0;
       if (peak > 0 && peak + 1 < spectrum.size()) {
@@ -85,12 +133,18 @@ LoCalibrationResult calibrate_lo(sdr::Device& device,
       }
       double peak_freq = static_cast<double>(peak) * bin_hz;
       if (peak_freq >= config.sample_rate_hz / 2.0) peak_freq -= config.sample_rate_hz;
-      const double measured = peak_freq + refine;
+      // Goertzel fine grid around the parabolic estimate (the lo_calibration
+      // TODO this PR closes): fractional-frequency DFT evaluation on the
+      // unpadded capture pins the pilot tighter than the padded-bin fit.
+      const double measured = goertzel_refine_peak(
+          capture, peak_freq + refine, bin_hz, config.sample_rate_hz);
       meas.measured_offset_hz = measured - kPilotParkHz;
       // offset = -ppm * f_pilot / 1e6  =>  ppm = -offset / f_pilot * 1e6.
       meas.ppm = -meas.measured_offset_hz / meas.station_pilot_hz * 1e6;
       meas.valid = true;
       ++out.valid_count;
+    } else {
+      refine_skip.add();
     }
     out.pilots.push_back(meas);
   }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsp/simd.hpp"
+
 namespace speccal::dsp {
 
 bool prefer_fft_convolution(std::size_t taps, std::size_t block_size) noexcept {
@@ -73,7 +75,10 @@ void FftConvolver::filter_into(std::span<const Sample> in, std::span<Sample> out
               Sample{0.0f, 0.0f});
 
     plan_->forward(work);
-    for (std::size_t k = 0; k < n; ++k) work[k] *= freq_taps_[k];
+    // Spectral product via the SIMD complex-multiply kernel. The explicit
+    // formula drops operator*'s Annex-G NaN recovery, identically to the
+    // butterfly convention — finite values are unchanged.
+    simd::cmul_inplace(work.data(), freq_taps_.data(), n);
     plan_->inverse(work);
 
     // Overlap-save: the first `overlap` outputs are circular garbage.

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/simd.hpp"
+
 namespace speccal::dsp {
 
 namespace {
@@ -60,22 +62,28 @@ std::vector<std::complex<double>> design_bandpass(double sample_rate_hz, double 
 
 FirFilter::FirFilter(std::vector<std::complex<double>> taps) : taps_(std::move(taps)) {
   if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
-  delay_.assign(taps_.size(), {0.0, 0.0});
+  rev_taps_.assign(taps_.rbegin(), taps_.rend());
+  delay_.assign(2 * taps_.size(), {0.0, 0.0});
+}
+
+// One streaming step: write the sample into both images of the doubled
+// delay line, then take the contiguous window [pos_+1, pos_+n] (oldest to
+// newest) against the reversed taps.
+std::complex<double> FirFilter::step(std::complex<float> s) noexcept {
+  const std::size_t n = rev_taps_.size();
+  const std::complex<double> x(s.real(), s.imag());
+  delay_[pos_] = x;
+  delay_[pos_ + n] = x;
+  const auto acc = simd::cdot(rev_taps_.data(), delay_.data() + pos_ + 1, n);
+  pos_ = (pos_ + 1 == n) ? 0 : pos_ + 1;
+  return acc;
 }
 
 void FirFilter::process(std::span<const std::complex<float>> in,
                         std::vector<std::complex<float>>& out) {
   out.reserve(out.size() + in.size());
-  const std::size_t n = taps_.size();
   for (const auto& s : in) {
-    delay_[head_] = std::complex<double>(s.real(), s.imag());
-    std::complex<double> acc(0.0, 0.0);
-    std::size_t idx = head_;
-    for (std::size_t t = 0; t < n; ++t) {
-      acc += taps_[t] * delay_[idx];
-      idx = (idx == 0) ? n - 1 : idx - 1;
-    }
-    head_ = (head_ + 1) % n;
+    const auto acc = step(s);
     out.emplace_back(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
   }
 }
@@ -84,17 +92,8 @@ void FirFilter::filter_into(std::span<const std::complex<float>> in,
                             std::span<std::complex<float>> out) {
   if (out.size() != in.size())
     throw std::invalid_argument("FirFilter::filter_into: out size must match in size");
-  const std::size_t n = taps_.size();
   for (std::size_t i = 0; i < in.size(); ++i) {
-    const auto& s = in[i];
-    delay_[head_] = std::complex<double>(s.real(), s.imag());
-    std::complex<double> acc(0.0, 0.0);
-    std::size_t idx = head_;
-    for (std::size_t t = 0; t < n; ++t) {
-      acc += taps_[t] * delay_[idx];
-      idx = (idx == 0) ? n - 1 : idx - 1;
-    }
-    head_ = (head_ + 1) % n;
+    const auto acc = step(in[i]);
     out[i] = {static_cast<float>(acc.real()), static_cast<float>(acc.imag())};
   }
 }
@@ -107,7 +106,7 @@ std::vector<std::complex<float>> FirFilter::filter(std::span<const std::complex<
 
 void FirFilter::reset() noexcept {
   for (auto& v : delay_) v = {0.0, 0.0};
-  head_ = 0;
+  pos_ = 0;
 }
 
 double FirFilter::magnitude_at(double freq_hz, double sample_rate_hz) const noexcept {

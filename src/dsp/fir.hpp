@@ -30,6 +30,13 @@ namespace speccal::dsp {
 
 /// Streaming FIR for complex float samples with complex double taps.
 /// process() can be called repeatedly; state carries across calls.
+///
+/// The delay line is stored doubled (each sample written twice, n apart) so
+/// every output is one contiguous complex-double dot product of the
+/// reversed taps against the history window — the dispatched SIMD cdot
+/// kernel (dsp/simd.hpp). The lane-split accumulator reorders the additions
+/// relative to the historical newest-first scalar loop; held to
+/// simd::kSimdEquivalenceTolerance (observed ~1e-15 relative).
 class FirFilter {
  public:
   explicit FirFilter(std::vector<std::complex<double>> taps);
@@ -58,9 +65,12 @@ class FirFilter {
   [[nodiscard]] double magnitude_at(double freq_hz, double sample_rate_hz) const noexcept;
 
  private:
-  std::vector<std::complex<double>> taps_;
-  std::vector<std::complex<double>> delay_;  // circular history
-  std::size_t head_ = 0;
+  [[nodiscard]] std::complex<double> step(std::complex<float> s) noexcept;
+
+  std::vector<std::complex<double>> taps_;      // design order (magnitude_at)
+  std::vector<std::complex<double>> rev_taps_;  // reversed, for the dot kernel
+  std::vector<std::complex<double>> delay_;     // doubled circular history (2n)
+  std::size_t pos_ = 0;                         // write slot in [0, n)
 };
 
 /// Running mean over a fixed-length rectangular window ("very long moving

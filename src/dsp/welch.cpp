@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsp/simd.hpp"
+
 namespace speccal::dsp {
 
 WelchEstimator::WelchEstimator(WelchConfig config) : config_(config) {
@@ -34,14 +36,15 @@ void WelchEstimator::estimate_into(std::span<const std::complex<float>> block,
 
   out.psd.assign(seg, 0.0);
   auto work = scratch_.complex_f32(seg);
+  // Modified periodogram normalized by the window power so that the sum
+  // over bins equals the segment's mean power (Parseval-consistent). Window
+  // multiply and power accumulation run through the elementwise SIMD
+  // kernels (bit-identical to the scalar siblings, dsp/simd.hpp).
+  const double scale = 1.0 / (window_power_ * static_cast<double>(seg));
   for (std::size_t start = 0; start + seg <= block.size(); start += hop_) {
-    for (std::size_t i = 0; i < seg; ++i) work[i] = block[start + i] * window_[i];
+    simd::apply_window(block.data() + start, window_.data(), work.data(), seg);
     plan_->forward(work);
-    // Modified periodogram normalized by the window power so that the sum
-    // over bins equals the segment's mean power (Parseval-consistent).
-    const double scale = 1.0 / (window_power_ * static_cast<double>(seg));
-    for (std::size_t k = 0; k < seg; ++k)
-      out.psd[k] += static_cast<double>(std::norm(work[k])) * scale;
+    simd::accumulate_power(work.data(), scale, out.psd.data(), seg);
     ++out.segments_averaged;
   }
   if (out.segments_averaged > 0) {

@@ -3,11 +3,68 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/goertzel.hpp"
+#include "dsp/simd.hpp"
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
 namespace speccal::monitor {
 
 namespace {
 [[nodiscard]] double to_dbfs(double linear) noexcept {
   return linear > 1e-20 ? 10.0 * std::log10(linear) : -200.0;
+}
+
+/// Sub-segments averaged by the comb: enough chi-squared degrees of freedom
+/// that noise teeth sit within ~1 dB of each other, keeping the contrast
+/// test far from its threshold on vacant hops.
+constexpr std::size_t kGateSubSegments = 8;
+
+/// Goertzel comb contrast test over the dwell prefix. True when the loudest
+/// tooth clears the low-quantile tooth by min_snr_db.
+[[nodiscard]] bool comb_detects_signal(std::span<const dsp::Sample> capture,
+                                       const ScanGateConfig& gate, double fs) {
+  const std::size_t bins = std::max<std::size_t>(4, gate.comb_bins);
+  const std::size_t seg = capture.size() / kGateSubSegments;
+  if (seg == 0) return true;  // too short to judge; run the full path
+
+  std::vector<double> freqs(bins);
+  for (std::size_t k = 0; k < bins; ++k)
+    freqs[k] = fs * ((static_cast<double>(k) + 0.5) / static_cast<double>(bins) - 0.5);
+  dsp::Goertzel comb(freqs, fs);
+
+  std::vector<double> teeth(bins, 0.0);
+  for (std::size_t s = 0; s < kGateSubSegments; ++s) {
+    comb.reset();
+    comb.feed(capture.subspan(s * seg, seg));
+    for (std::size_t k = 0; k < bins; ++k) teeth[k] += comb.power(k);
+  }
+
+  std::vector<double> sorted = teeth;
+  std::sort(sorted.begin(), sorted.end());
+  const double quantile = std::clamp(gate.floor_quantile, 0.0, 1.0);
+  const auto idx = std::min(bins - 1,
+                            static_cast<std::size_t>(quantile * static_cast<double>(bins)));
+  const double reference = std::max(sorted[idx], 1e-30);
+  return sorted.back() >= util::db_to_ratio(gate.min_snr_db) * reference;
+}
+
+/// Flat white-noise PSD from the capture's mean power. Parseval-consistent
+/// with the Welch estimate for a noise-only hop: the bins sum to the mean
+/// power, so stitched band_power and percentile_floor read the same values
+/// the full estimate would have produced.
+void synthesize_flat_psd(std::span<const dsp::Sample> capture,
+                         const dsp::WelchConfig& welch, double fs,
+                         dsp::WelchResult& out) {
+  const std::size_t seg = welch.segment_size;
+  const std::size_t n = capture.size();
+  const double mean_power =
+      n > 0 ? dsp::simd::sum_power(capture.data(), n) / static_cast<double>(n) : 0.0;
+  out.psd.assign(seg, mean_power / static_cast<double>(seg));
+  out.bin_width_hz = fs / static_cast<double>(seg);
+  const auto hop_len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(seg) * (1.0 - welch.overlap)));
+  out.segments_averaged = n >= seg ? (n - seg) / hop_len + 1 : 0;
 }
 }  // namespace
 
@@ -62,7 +119,30 @@ SweepResult SpectrumScanner::sweep(sdr::Device& device, double start_hz,
     hop.tune_ok = device.tune(center, config_.sample_rate_hz);
     if (hop.tune_ok) {
       const dsp::Buffer capture = device.capture(samples_per_hop);
-      welch.estimate_into(capture, config_.sample_rate_hz, hop.psd);
+      // Presence pre-check: vacant hops short-circuit the Welch estimate
+      // and report a Parseval-consistent flat PSD (DESIGN.md §14).
+      bool run_welch = true;
+      if (config_.gate.enabled) {
+        static obs::Counter& gate_pass =
+            obs::Registry::global().counter("speccal_gate_scan_pass_total");
+        static obs::Counter& gate_skip =
+            obs::Registry::global().counter("speccal_gate_scan_skip_total");
+        const auto prefix = static_cast<std::size_t>(
+            std::clamp(config_.gate.gate_fraction, 0.0, 1.0) *
+            static_cast<double>(capture.size()));
+        if (comb_detects_signal(std::span<const dsp::Sample>(capture).first(prefix),
+                                config_.gate, config_.sample_rate_hz)) {
+          gate_pass.add();
+        } else {
+          gate_skip.add();
+          hop.gated = true;
+          run_welch = false;
+          synthesize_flat_psd(capture, config_.welch, config_.sample_rate_hz,
+                              hop.psd);
+        }
+      }
+      if (run_welch)
+        welch.estimate_into(capture, config_.sample_rate_hz, hop.psd);
       hop.noise_floor_dbfs =
           to_dbfs(dsp::percentile_floor(hop.psd, config_.floor_quantile));
     }

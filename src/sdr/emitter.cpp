@@ -101,7 +101,7 @@ void FixedEmitterSource::render(const CaptureContext& ctx,
       // Deterministic start phase tied to capture time keeps renders
       // continuous across adjacent buffers.
       nco.set_phase(2.0 * util::kPi * std::fmod(pilot_freq * ctx.start_time_s, 1.0));
-      for (std::size_t i = 0; i < n; ++i) accum[i] += nco.next() * amp;
+      nco.add_tone(accum.first(n), amp);
     }
   }
 }

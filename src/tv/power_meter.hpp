@@ -17,11 +17,33 @@
 #include <vector>
 
 #include "dsp/fir.hpp"
+#include "dsp/goertzel.hpp"
 #include "dsp/welch.hpp"
 #include "sdr/device.hpp"
 #include "tv/channels.hpp"
 
 namespace speccal::tv {
+
+/// ATSC pilot fast-path gate (DESIGN.md §14): before paying for the full
+/// integration, a three-bin Goertzel over a short capture prefix tests the
+/// pilot bin against two nearby reference bins. Channels with no pilot
+/// (vacant, or not ATSC) short-circuit to an abbreviated integration over
+/// `skip_fraction` of the capture — the reading keeps its absolute
+/// calibration (same estimator, fewer samples), at a fraction of the cost.
+/// Skip rates are published as speccal_gate_tv_pilot_{pass,skip}_total.
+struct PilotGateConfig {
+  bool enabled = true;
+  /// Expected pilot placement relative to the tuned channel center.
+  double pilot_offset_hz = kPilotOffsetFromCenterHz;
+  /// Reference (noise-floor) bins sit this far either side of the pilot.
+  double ref_spacing_hz = 250e3;
+  /// Pass when the pilot bin clears the mean reference bin by this margin.
+  double min_snr_db = 6.0;
+  /// Fraction of the capture the gate inspects.
+  double gate_fraction = 0.1;
+  /// Fraction of the capture integrated when the gate skips.
+  double skip_fraction = 0.1;
+};
 
 /// Validation contract (enforced by PowerMeter's constructor; violations
 /// throw std::invalid_argument naming the offending parameter):
@@ -30,7 +52,10 @@ namespace speccal::tv {
 ///   - filter_taps must be >= 3 (the FIR design needs a real prototype);
 ///   - measure_bandwidth_hz must be positive and smaller than
 ///     sample_rate_hz (the band-pass must fit inside Nyquist);
-///   - welch (used by Method::kSpectral) follows the WelchConfig contract.
+///   - welch (used by Method::kSpectral) follows the WelchConfig contract;
+///   - pilot_gate.gate_fraction / skip_fraction must be in (0, 1];
+///   - pilot_gate.ref_spacing_hz must be positive and the pilot/reference
+///     bins must fit inside Nyquist.
 struct PowerMeterConfig {
   double sample_rate_hz = 8e6;     // must cover one 6 MHz channel
   double fixed_gain_db = 20.0;     // paper: fixed to keep readings comparable.
@@ -58,6 +83,8 @@ struct PowerMeterConfig {
   Method method = Method::kTimeDomain;
   /// Welch settings for Method::kSpectral.
   dsp::WelchConfig welch;
+  /// Pilot presence fast-path (see PilotGateConfig).
+  PilotGateConfig pilot_gate;
 };
 
 struct ChannelPowerReading {
@@ -67,6 +94,9 @@ struct ChannelPowerReading {
   double power_dbm = -200.0;    // referred to the antenna port via gain
   bool tune_ok = false;
   std::size_t samples_used = 0;
+  /// True when the pilot gate found no pilot and the reading was integrated
+  /// over the abbreviated capture prefix.
+  bool gated = false;
 };
 
 /// Measures one or more ATSC channels through a Device (simulated or real).
@@ -89,10 +119,11 @@ class PowerMeter {
   [[nodiscard]] const PowerMeterConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] double integrate_time_domain(const dsp::Buffer& capture,
+  [[nodiscard]] double integrate_time_domain(std::span<const dsp::Sample> capture,
                                              std::size_t& samples_used) const;
-  [[nodiscard]] double integrate_spectral(const dsp::Buffer& capture,
+  [[nodiscard]] double integrate_spectral(std::span<const dsp::Sample> capture,
                                           std::size_t& samples_used) const;
+  [[nodiscard]] bool pilot_present(std::span<const dsp::Sample> capture) const;
 
   PowerMeterConfig config_;
   // Per-measurement scratch (reset/reused each call); mutable so the
@@ -101,6 +132,7 @@ class PowerMeter {
   mutable dsp::Buffer filtered_;
   mutable dsp::WelchEstimator welch_;
   mutable dsp::WelchResult psd_;
+  mutable dsp::Goertzel pilot_probe_;
 };
 
 }  // namespace speccal::tv

@@ -159,7 +159,21 @@ TEST(Decimator, FactorOnePassthroughAndValidation) {
 TEST(Goertzel, MatchesToneAmplitude) {
   constexpr double fs = 2e6;
   const auto x = tone_plus_noise(309441.0, fs, 20000, 0.3, 0.001, 9);
-  EXPECT_NEAR(d::goertzel_power(x, 309441.0, fs), 0.09, 0.01);  // amp^2
+  // Streaming multi-bin API: one pass over the block serves both bins.
+  d::Goertzel probe({309441.0, -500e3}, fs);
+  probe.feed(x);
+  EXPECT_NEAR(probe.power(0), 0.09, 0.01);  // amp^2
+  EXPECT_LT(probe.power(1), 1e-5);
+  EXPECT_EQ(probe.samples_fed(), x.size());
+  // reset() rewinds to a fresh accumulator; block-at-a-time feeding matches
+  // one-shot feeding of the same samples.
+  probe.reset();
+  EXPECT_DOUBLE_EQ(probe.power(0), 0.0);
+  probe.feed(std::span<const std::complex<float>>(x).first(7777));
+  probe.feed(std::span<const std::complex<float>>(x).subspan(7777));
+  EXPECT_NEAR(probe.power(0), 0.09, 0.01);
+  // The free-function shim (DESIGN.md §8) stays as a thin wrapper.
+  EXPECT_NEAR(d::goertzel_power(x, 309441.0, fs), 0.09, 0.01);
   EXPECT_LT(d::goertzel_power(x, -500e3, fs), 1e-5);
   EXPECT_DOUBLE_EQ(d::goertzel_power({}, 1.0, fs), 0.0);
 }
