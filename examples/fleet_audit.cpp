@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "calib/fleet.hpp"
+#include "calib/health.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "scenario/testbed.hpp"
 #include "sdr/fault.hpp"
@@ -82,14 +85,25 @@ int main(int argc, char** argv) {
 
   // fleet_audit [threads] [--threads=N] [--nodes=N] [--metrics-out=PATH]
   //             [--trace-out=PATH] [--fault-profile=<name|json>]
+  //             [--health-out=PATH] [--events-out=PATH] [--samples-out=PATH]
+  //             [--slo-budget-ms=MS]
   // Fault profiles script a reproducible chaos run: built-ins "none",
   // "flaky20", "chaos", or an inline JSON document (sdr/fault.hpp). With a
   // profile active the retry/quarantine policy is enabled and the run
   // self-checks its quarantine count against the profile's expectation.
+  // --health-out scores every node (calib/health.hpp), prints the worst-N
+  // table and writes the health JSON; --events-out dumps the structured
+  // event journal as JSON-lines; --samples-out records a registry delta
+  // time-series ticked on the progress heartbeat; --slo-budget-ms arms the
+  // same latency budget for every pipeline stage.
   unsigned threads = 0;
   std::size_t fleet_size = 20;
   std::string metrics_out;
   std::string trace_out;
+  std::string health_out;
+  std::string events_out;
+  std::string samples_out;
+  double slo_budget_ms = 0.0;
   sdr::FaultProfile fault_profile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +115,14 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(14);
     else if (arg.rfind("--trace-out=", 0) == 0)
       trace_out = arg.substr(12);
+    else if (arg.rfind("--health-out=", 0) == 0)
+      health_out = arg.substr(13);
+    else if (arg.rfind("--events-out=", 0) == 0)
+      events_out = arg.substr(13);
+    else if (arg.rfind("--samples-out=", 0) == 0)
+      samples_out = arg.substr(14);
+    else if (arg.rfind("--slo-budget-ms=", 0) == 0)
+      slo_budget_ms = std::atof(arg.c_str() + 16);
     else if (arg.rfind("--fault-profile=", 0) == 0) {
       try {
         fault_profile = sdr::make_fault_profile(arg.substr(16));
@@ -121,6 +143,17 @@ int main(int argc, char** argv) {
   // (node -> stages) on its worker's track in chrome://tracing / Perfetto.
   std::optional<speccal::obs::TraceSession> trace;
   if (!trace_out.empty()) trace.emplace();
+
+  // Arm the same latency budget on every pipeline stage; StageTimer feeds
+  // the tracker on each stage completion.
+  if (slo_budget_ms > 0.0)
+    for (std::size_t s = 0; s < calib::kStageCount; ++s)
+      obs::SloTracker::global().set_budget(
+          calib::to_string(static_cast<calib::Stage>(s)), slo_budget_ms);
+
+  // Rolling registry snapshots, ticked on the progress heartbeat below.
+  std::optional<obs::Sampler> sampler;
+  if (!samples_out.empty()) sampler.emplace(obs::Registry::global());
 
   const auto world = scenario::make_world(kSeed);
   const auto fleet = generate_fleet(fleet_size);
@@ -143,7 +176,7 @@ int main(int argc, char** argv) {
   run.executor.threads = threads;
   calib::FleetConfig fleet_cfg;
   fleet_cfg.trace = trace ? &*trace : nullptr;
-  fleet_cfg.on_progress = [](const calib::FleetProgress& p) {
+  fleet_cfg.on_progress = [&metrics_out, &sampler](const calib::FleetProgress& p) {
     // Per-node lines for small fleets; at 1000-node scale print a heartbeat
     // every 100 nodes (plus aborts/quarantines, which are always notable).
     const bool verbose = p.total <= 50;
@@ -152,6 +185,16 @@ int main(int argc, char** argv) {
       std::cout << "  [" << p.completed << "/" << p.total << "] " << p.node_id
                 << (p.ok ? "" : "  (ABORTED)")
                 << (p.quarantined ? "  (QUARANTINED)" : "") << "\n";
+    // Heartbeat flush: a killed long run still leaves a current metrics file
+    // and sampler timeline behind. on_progress runs under the fleet's
+    // bookkeeping lock, so the rewrite is serialized.
+    if (p.completed % 100 == 0 && p.completed < p.total) {
+      if (sampler) sampler->sample();
+      if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out);
+        if (os) obs::Registry::global().write_json(os);
+      }
+    }
   };
   calib::FleetCalibrator calibrator(world, run, fleet_cfg);
 
@@ -171,9 +214,10 @@ int main(int argc, char** argv) {
     // the shared scenario seed only — no shared mutable state. The fault
     // profile wraps scripted nodes in a seeded FaultInjectingDevice; nodes
     // without faults get the bare device (bitwise-identical reports).
-    job.make_device = [&world, &fault_profile, site = entry.site, index]() {
+    job.make_device = [&world, &fault_profile, site = entry.site, index,
+                       id = entry.id]() {
       return fault_profile.wrap(scenario::make_owned_node(site, world, kSeed),
-                                index);
+                                index, id);
     };
     jobs.push_back(std::move(job));
   }
@@ -269,6 +313,48 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Fleet health: fault history + consensus divergence folded into one
+  // score per node, published as gauges (so --metrics-out carries them),
+  // merged into flagged reports' findings, and rendered worst-first.
+  if (!health_out.empty()) {
+    const calib::HealthMonitor monitor;
+    const calib::HealthReport health = monitor.evaluate(registry);
+    monitor.publish(health, obs::Registry::global());
+    monitor.annotate(registry, health);
+
+    constexpr std::size_t kMaxHealthRows = 10;
+    util::Table worst({"rank", "node", "score", "quarantined", "recovered",
+                       "crc repair %", "divergence dB", "flag"});
+    std::size_t shown = 0;
+    for (const auto& n : health.nodes) {
+      if (shown++ == kMaxHealthRows) break;
+      worst.add_row({std::to_string(shown), n.node_id,
+                     util::format_fixed(n.score, 1),
+                     std::to_string(n.quarantined_stages),
+                     std::to_string(n.recovered_stages),
+                     util::format_fixed(n.crc_repair_rate * 100.0, 2),
+                     util::format_fixed(n.divergence_db, 2),
+                     n.unhealthy ? "UNHEALTHY" : "ok"});
+    }
+    worst.set_title(health.nodes.size() > kMaxHealthRows
+                        ? "Fleet health, worst " +
+                              std::to_string(kMaxHealthRows) + " of " +
+                              std::to_string(health.nodes.size())
+                        : "Fleet health (worst first)");
+    std::cout << "\n";
+    worst.print(std::cout);
+
+    std::ofstream os(health_out);
+    if (!os) {
+      std::cerr << "fleet_audit: cannot write " << health_out << "\n";
+      return 1;
+    }
+    health.write_json(os);
+    std::cout << "Wrote health scores for " << health.nodes.size()
+              << " node(s) to " << health_out << " ("
+              << health.unhealthy_count << " unhealthy)\n";
+  }
+
   if (trace) {
     std::ofstream os(trace_out);
     if (!os) {
@@ -278,6 +364,33 @@ int main(int argc, char** argv) {
     trace->write_chrome_trace(os);
     std::cout << "\nWrote " << trace->event_count() << " trace events to "
               << trace_out << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!events_out.empty()) {
+    std::ofstream os(events_out);
+    if (!os) {
+      std::cerr << "fleet_audit: cannot write " << events_out << "\n";
+      return 1;
+    }
+    const auto& journal = obs::EventLog::global();
+    journal.write_jsonl(os);
+    std::cout << "Wrote " << journal.size() << " journal event(s) to "
+              << events_out
+              << (journal.dropped() > 0
+                      ? " (" + std::to_string(journal.dropped()) +
+                            " dropped by the ring bound)"
+                      : "")
+              << "\n";
+  }
+  if (sampler) {
+    sampler->sample();  // final frame so short runs still record a timeline
+    std::ofstream os(samples_out);
+    if (!os) {
+      std::cerr << "fleet_audit: cannot write " << samples_out << "\n";
+      return 1;
+    }
+    sampler->write_json(os);
+    std::cout << "Wrote " << sampler->frame_count() << " sampler frame(s) to "
+              << samples_out << "\n";
   }
   if (!metrics_out.empty()) {
     std::ofstream os(metrics_out);

@@ -115,6 +115,8 @@ ExecutorStats StageExecutor::run_inline(const TaskGraph& graph) {
 ExecutorStats StageExecutor::run(const TaskGraph& graph) {
   validate_graph(graph);
   obs::Registry::global().counter("speccal_executor_runs_total").add();
+  // The coordinating thread keeps lane 0.
+  if (config_.trace != nullptr) config_.trace->name_thread("main", 0);
 
   const unsigned threads = effective_threads(graph.size());
   ExecutorStats stats;
@@ -152,6 +154,12 @@ ExecutorStats StageExecutor::run(const TaskGraph& graph) {
 
     auto worker_loop = [&](unsigned self) {
       Worker& me = workers[self];
+      if (config_.trace != nullptr) {
+        // Label this lane `worker-<pool index>` (sorted after main's 0) so
+        // the Perfetto view reads in pool order, not registration order.
+        config_.trace->name_thread("worker-" + std::to_string(self),
+                                   static_cast<int>(self) + 1);
+      }
       for (;;) {
         TaskGraph::TaskId id = 0;
         bool have = false;

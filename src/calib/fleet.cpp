@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -157,6 +158,9 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
           obs::Registry::global().counter("speccal_fleet_nodes_total").add();
           if (!ok) {
             obs::Registry::global().counter("speccal_fleet_aborts_total").add();
+            obs::EventLog::global().log(
+                obs::EventSeverity::kError, "node_aborted", job.claims.node_id,
+                {}, {obs::SpanArg::str("error", st.error)});
             // Failure isolation: the node still gets a (flagged, zero-trust)
             // report; the batch carries on.
             st.report.claims = job.claims;
@@ -170,10 +174,17 @@ FleetSummary FleetCalibrator::run(std::vector<FleetJob> jobs, NodeRegistry& regi
           const bool node_quarantined = st.report.quarantined();
           FaultTally node_tally;
           node_tally.note(st.report.fault_records);
-          if (node_quarantined)
+          if (node_quarantined) {
             obs::Registry::global()
                 .counter("speccal_fault_quarantined_nodes_total")
                 .add();
+            obs::EventLog::global().log(
+                obs::EventSeverity::kError, "node_quarantined",
+                job.claims.node_id, {},
+                {obs::SpanArg::integer(
+                    "fault_records",
+                    static_cast<std::int64_t>(st.report.fault_records.size()))});
+          }
           registry.record(std::move(st.report));
           st.plan.reset();
           st.device.reset();

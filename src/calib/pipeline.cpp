@@ -561,6 +561,12 @@ void NodeRegistry::for_each_report(
   for (const auto& [id, report] : reports_) fn(report);
 }
 
+void NodeRegistry::for_each_report_mutable(
+    const std::function<void(CalibrationReport&)>& fn) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [id, report] : reports_) fn(report);
+}
+
 std::size_t NodeRegistry::size() const noexcept {
   const std::scoped_lock lock(mutex_);
   return reports_.size();

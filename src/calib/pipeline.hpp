@@ -245,6 +245,11 @@ class NodeRegistry {
   /// find-per-id loops. Don't call registry methods from `fn` (deadlock).
   void for_each_report(const std::function<void(const CalibrationReport&)>& fn) const;
 
+  /// Mutable visit, id order, under the registry lock — how the
+  /// HealthMonitor merges health findings into flagged reports. Same rule
+  /// as for_each_report: don't call registry methods from `fn`.
+  void for_each_report_mutable(const std::function<void(CalibrationReport&)>& fn);
+
   [[nodiscard]] std::size_t size() const noexcept;
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sdr/device.hpp"
@@ -107,6 +108,11 @@ bool RetryRunner::run(Stage stage, std::vector<FaultRecord>& records,
       if (attempt > 1) {
         record.outcome = FaultOutcome::kRecovered;
         obs::Registry::global().counter("speccal_retry_recovered_total").add();
+        obs::EventLog::global().log(
+            obs::EventSeverity::kWarning, "stage_recovered", node_id_,
+            to_string(stage),
+            {obs::SpanArg::integer("attempts", attempt),
+             obs::SpanArg::str("last_error", record.last_error)});
         records.push_back(std::move(record));
       }
       return true;
@@ -133,6 +139,12 @@ bool RetryRunner::run(Stage stage, std::vector<FaultRecord>& records,
       obs::Registry::global()
           .counter("speccal_fault_quarantined_stages_total")
           .add();
+      obs::EventLog::global().log(
+          obs::EventSeverity::kError,
+          deadline_hit ? "stage_deadline_expired" : "stage_quarantined",
+          node_id_, to_string(stage),
+          {obs::SpanArg::integer("attempts", attempt),
+           obs::SpanArg::str("last_error", record.last_error)});
       records.push_back(std::move(record));
       return false;
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "calib/fleet.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 
 namespace speccal::net {
@@ -107,16 +108,31 @@ DecodeFarmStats DecodeFarm::run(SegmentQueue& queue,
       if (segment->size() > config_.max_segment_bytes) {
         decode_errors.fetch_add(1, std::memory_order_relaxed);
         error_counter.add();
+        obs::EventLog::global().log(
+            obs::EventSeverity::kError, "segment_rejected", {}, {},
+            {obs::SpanArg::str("reason", "oversize"),
+             obs::SpanArg::integer("bytes",
+                                   static_cast<std::int64_t>(segment->size()))});
         continue;
       }
       SegmentView view;
-      if (parse_segment(segment->bytes, view) != DecodeStatus::kOk) {
+      const DecodeStatus status = parse_segment(segment->bytes, view);
+      if (status != DecodeStatus::kOk) {
         decode_errors.fetch_add(1, std::memory_order_relaxed);
         error_counter.add();
+        obs::EventLog::global().log(
+            obs::EventSeverity::kError, "segment_rejected", {}, {},
+            {obs::SpanArg::str("reason", to_string(status)),
+             obs::SpanArg::integer("bytes",
+                                   static_cast<std::int64_t>(segment->size()))});
         continue;
       }
       if (manifests_.find(view.header.stream_id) == manifests_.end()) {
         unknown_streams.fetch_add(1, std::memory_order_relaxed);
+        obs::EventLog::global().log(
+            obs::EventSeverity::kWarning, "unknown_stream_dropped", {}, {},
+            {obs::SpanArg::integer(
+                "stream_id", static_cast<std::int64_t>(view.header.stream_id))});
         continue;
       }
       decode_payload(view, scratch);

@@ -1,0 +1,145 @@
+#include "obs/eventlog.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace speccal::obs {
+
+const char* to_string(EventSeverity severity) noexcept {
+  switch (severity) {
+    case EventSeverity::kInfo: return "info";
+    case EventSeverity::kWarning: return "warning";
+    case EventSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity), t0_(std::chrono::steady_clock::now()) {
+  if (capacity == 0)
+    throw std::invalid_argument("EventLog.capacity must be >= 1");
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+EventLog& EventLog::global() {
+  // Leaked on purpose: emitters cache no handles, but the journal must
+  // outlive every static destructor that might still log (mirrors
+  // Registry::global()).
+  static EventLog* instance = new EventLog();
+  return *instance;
+}
+
+void EventLog::append(Event event) {
+  if (!events_enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::scoped_lock lock(mutex_);
+  event.seq = next_seq_++;
+  event.t_ms = std::chrono::duration<double, std::milli>(now - t0_).count();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void EventLog::log(EventSeverity severity, std::string_view name,
+                   std::string_view node_id, std::string_view stage,
+                   std::vector<SpanArg> args) {
+  if (!events_enabled()) return;  // skip the string copies entirely
+  Event event;
+  event.severity = severity;
+  event.name = std::string(name);
+  event.node_id = std::string(node_id);
+  event.stage = std::string(stage);
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Once wrapped, head_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  const std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t EventLog::total_appended() const {
+  const std::scoped_lock lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void EventLog::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+}
+
+namespace {
+
+void write_event_json(util::JsonWriter& w, const Event& ev) {
+  w.begin_object();
+  w.key("seq");
+  w.value(static_cast<std::int64_t>(ev.seq));
+  w.key("t_ms");
+  w.value(ev.t_ms);
+  w.key("severity");
+  w.value(to_string(ev.severity));
+  w.key("event");
+  w.value(ev.name);
+  if (!ev.node_id.empty()) {
+    w.key("node");
+    w.value(ev.node_id);
+  }
+  if (!ev.stage.empty()) {
+    w.key("stage");
+    w.value(ev.stage);
+  }
+  if (!ev.args.empty()) {
+    w.key("args");
+    w.begin_object();
+    for (const SpanArg& arg : ev.args) {
+      w.key(arg.key);
+      switch (arg.kind) {
+        case SpanArg::Kind::kString: w.value(arg.string_value); break;
+        case SpanArg::Kind::kInt: w.value(arg.int_value); break;
+        case SpanArg::Kind::kDouble: w.value(arg.double_value); break;
+        case SpanArg::Kind::kBool: w.value(arg.bool_value); break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  // Snapshot under the lock, serialize outside it: formatting a long tail
+  // must not stall concurrent appends.
+  const std::vector<Event> events = snapshot();
+  for (const Event& ev : events) {
+    util::JsonWriter w(os);
+    write_event_json(w, ev);
+    os << "\n";
+  }
+}
+
+}  // namespace speccal::obs

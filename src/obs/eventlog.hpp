@@ -1,0 +1,129 @@
+// Structured event journal — the "what happened" companion to the "how
+// much" metrics registry.
+//
+// A million-node crowd-sourced deployment is operated off discrete signals:
+// node X quarantined stage Y after N attempts, the decode farm rejected a
+// malformed segment, a fault fired on capture op 3. Counters aggregate
+// those away; the EventLog keeps the last `capacity` of them as structured
+// records (timestamp, severity, event name, node id, stage, key/value args)
+// in a bounded ring, so a crashed or killed run still leaves a forensic
+// tail behind and a live run can be tailed without unbounded memory.
+//
+// Contract:
+//   * append() is thread-safe (one mutex — events are cold-path by design:
+//     faults, retries, rejects; never per-sample or per-block). The
+//     bench/obs_overhead "event_append" row keeps the cost honest.
+//   * The ring holds the *newest* `capacity` events; older ones are
+//     overwritten and counted in dropped(). seq numbers are assigned at
+//     append and survive wrap-around, so a reader can tell how much of the
+//     history is missing.
+//   * `set_events_enabled(false)` silences every append at the cost of one
+//     relaxed atomic load (mirrors obs::set_metrics_enabled).
+//   * Export is JSON-lines (one object per event) — greppable, streamable,
+//     and append-friendly for the fleet_audit --events-out artifact.
+//
+// Args reuse obs::SpanArg, so an instrumentation point can feed the same
+// key/values to its trace span and its journal event.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace speccal::obs {
+
+namespace detail {
+inline std::atomic<bool> g_events_enabled{true};
+}  // namespace detail
+
+/// Process-wide kill switch for event journaling (one relaxed load per
+/// append when off; bench/obs_overhead measures the on/off delta).
+inline void set_events_enabled(bool enabled) noexcept {
+  detail::g_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool events_enabled() noexcept {
+  return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+
+enum class EventSeverity : std::uint8_t { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(EventSeverity severity) noexcept;
+
+/// One journal entry. `seq` is assigned at append time and monotonically
+/// increases for the log's lifetime (wrap-around drops old events, never
+/// renumbers); `t_ms` is steady-clock milliseconds since the log was
+/// constructed — wall-clock time never enters the journal (same rule as
+/// trace spans).
+struct Event {
+  std::uint64_t seq = 0;
+  double t_ms = 0.0;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string name;     // machine-readable event kind, e.g. "stage_quarantined"
+  std::string node_id;  // empty when the emitter has no node context
+  std::string stage;    // pipeline stage name, empty outside the pipeline
+  std::vector<SpanArg> args;
+};
+
+/// Bounded, thread-safe structured event journal with JSON-lines export.
+class EventLog {
+ public:
+  /// Throws std::invalid_argument ("EventLog.capacity ...") when capacity
+  /// is 0.
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The process-wide journal every library layer appends into.
+  /// Intentionally leaked (same lifetime rule as Registry::global()).
+  [[nodiscard]] static EventLog& global();
+
+  /// Append one event; seq and t_ms are assigned here (caller-provided
+  /// values are overwritten). No-op when events are disabled.
+  void append(Event event);
+
+  /// Convenience: build and append in one call.
+  void log(EventSeverity severity, std::string_view name,
+           std::string_view node_id = {}, std::string_view stage = {},
+           std::vector<SpanArg> args = {});
+
+  /// Oldest-to-newest snapshot of the ring's current contents.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events ever appended / overwritten by wrap-around.
+  [[nodiscard]] std::uint64_t total_appended() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop every buffered event (counters and seq numbering keep going).
+  void clear();
+
+  /// JSON-lines export, oldest first:
+  ///   {"seq":12,"t_ms":34.5,"severity":"error","event":"stage_quarantined",
+  ///    "node":"dave-rooftop","stage":"survey","args":{"attempts":4}}
+  /// "node"/"stage"/"args" are omitted when empty.
+  void write_jsonl(std::ostream& os) const;
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;  // grows to capacity_, then wraps
+  std::size_t head_ = 0;     // next write position once full
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace speccal::obs

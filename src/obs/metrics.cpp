@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -42,6 +44,15 @@ std::span<const double> default_duration_bounds_ms() noexcept {
   return kBounds;
 }
 
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
 // -------------------------------------------------------------- registry ----
 
 namespace {
@@ -56,13 +67,54 @@ bool valid_metric_name(std::string_view name) noexcept {
   return true;
 }
 
-const char* kind_name(int kind) noexcept {
-  switch (kind) {
-    case 0: return "counter";
-    case 1: return "gauge";
-    case 2: return "histogram";
+bool valid_label_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool ok = alpha || c == '_' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
   }
-  return "?";
+  return true;
+}
+
+// Prometheus text-format label-value escaping: backslash, double quote and
+// newline are the only characters the spec escapes.
+void write_escaped_label_value(std::ostream& os, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+void write_label_set(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) os << ',';
+    os << labels[i].name << "=\"";
+    write_escaped_label_value(os, labels[i].value);
+    os << '"';
+  }
+  os << '}';
+}
+
+std::string render_series(std::string_view name, const Labels& labels) {
+  std::ostringstream oss;
+  oss << name;
+  if (!labels.empty()) write_label_set(oss, labels);
+  return oss.str();
+}
+
+// The Prometheus text format spells non-finite values NaN / +Inf / -Inf;
+// ostream would print nan / inf, which scrapers reject.
+void write_prom_double(std::ostream& os, double v) {
+  if (std::isnan(v)) os << "NaN";
+  else if (std::isinf(v)) os << (v > 0 ? "+Inf" : "-Inf");
+  else os << v;
 }
 
 }  // namespace
@@ -74,43 +126,80 @@ Registry& Registry::global() {
   return *instance;
 }
 
-Registry::Entry& Registry::entry_for(std::string_view name, Kind kind,
+Registry::Entry& Registry::entry_for(std::string_view name, Labels labels,
+                                     MetricKind kind,
                                      std::span<const double> bounds) {
   if (!valid_metric_name(name))
     throw std::invalid_argument("Registry: invalid metric name \"" +
                                 std::string(name) +
                                 "\" (allowed: [a-zA-Z0-9_:])");
+  // Canonicalize: sort by label name so {a,b} and {b,a} are one series.
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& x, const Label& y) { return x.name < y.name; });
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_label_name(labels[i].name))
+      throw std::invalid_argument("Registry: invalid label name \"" +
+                                  labels[i].name +
+                                  "\" (allowed: [a-zA-Z_][a-zA-Z0-9_]*)");
+    if (i > 0 && labels[i - 1].name == labels[i].name)
+      throw std::invalid_argument("Registry: duplicate label name \"" +
+                                  labels[i].name + "\" on metric \"" +
+                                  std::string(name) + "\"");
+  }
+  // '\x01' sorts below every valid name character, so all label sets of one
+  // name stay contiguous in the map (see header comment). The escaped label
+  // rendering is injective, which makes the key unique per label set.
+  std::string key(name);
+  if (!labels.empty()) {
+    std::ostringstream oss;
+    write_label_set(oss, labels);
+    key += '\x01';
+    key += oss.str();
+  }
   const std::scoped_lock lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it != metrics_.end()) {
-    if (it->second.kind != kind)
+  if (auto kit = kinds_.find(name); kit != kinds_.end()) {
+    if (kit->second != kind)
       throw std::invalid_argument(
           "Registry: metric \"" + std::string(name) + "\" already registered as " +
-          kind_name(static_cast<int>(it->second.kind)) + ", requested as " +
-          kind_name(static_cast<int>(kind)));
-    return it->second;
+          to_string(kit->second) + ", requested as " + to_string(kind));
+  } else {
+    kinds_.emplace(std::string(name), kind);
   }
+  auto it = metrics_.find(key);
+  if (it != metrics_.end()) return it->second;
   Entry entry;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
   entry.kind = kind;
   switch (kind) {
-    case Kind::kCounter: entry.counter.reset(new Counter()); break;
-    case Kind::kGauge: entry.gauge.reset(new Gauge()); break;
-    case Kind::kHistogram: entry.histogram.reset(new Histogram(bounds)); break;
+    case MetricKind::kCounter: entry.counter.reset(new Counter()); break;
+    case MetricKind::kGauge: entry.gauge.reset(new Gauge()); break;
+    case MetricKind::kHistogram:
+      entry.histogram.reset(new Histogram(bounds));
+      break;
   }
-  return metrics_.emplace(std::string(name), std::move(entry)).first->second;
+  return metrics_.emplace(std::move(key), std::move(entry)).first->second;
 }
 
 Counter& Registry::counter(std::string_view name) {
-  return *entry_for(name, Kind::kCounter, {}).counter;
+  return *entry_for(name, {}, MetricKind::kCounter, {}).counter;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  return *entry_for(name, Kind::kGauge, {}).gauge;
+  return *entry_for(name, {}, MetricKind::kGauge, {}).gauge;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  return *entry_for(name, std::move(labels), MetricKind::kCounter, {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  return *entry_for(name, std::move(labels), MetricKind::kGauge, {}).gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
-  return *entry_for(name, Kind::kHistogram, bounds).histogram;
+  return *entry_for(name, {}, MetricKind::kHistogram, bounds).histogram;
 }
 
 std::size_t Registry::size() const {
@@ -118,27 +207,62 @@ std::size_t Registry::size() const {
   return metrics_.size();
 }
 
+std::vector<ScalarSample> Registry::scalar_samples() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<ScalarSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, entry] : metrics_) {
+    const std::string series = render_series(entry.name, entry.labels);
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out.push_back({series, MetricKind::kCounter,
+                       static_cast<double>(entry.counter->value())});
+        break;
+      case MetricKind::kGauge:
+        out.push_back({series, MetricKind::kGauge, entry.gauge->value()});
+        break;
+      case MetricKind::kHistogram:
+        // Flattened to the two monotonic scalars a sampler can delta.
+        out.push_back({series + "_count", MetricKind::kCounter,
+                       static_cast<double>(entry.histogram->count())});
+        out.push_back(
+            {series + "_sum", MetricKind::kCounter, entry.histogram->sum()});
+        break;
+    }
+  }
+  return out;
+}
+
 void Registry::write_json(util::JsonWriter& w) const {
   const std::scoped_lock lock(mutex_);
   w.begin_object();
   w.key("metrics");
   w.begin_array();
-  for (const auto& [name, entry] : metrics_) {
+  for (const auto& [key, entry] : metrics_) {
     w.begin_object();
     w.key("name");
-    w.value(name);
+    w.value(entry.name);
+    if (!entry.labels.empty()) {
+      w.key("labels");
+      w.begin_object();
+      for (const Label& label : entry.labels) {
+        w.key(label.name);
+        w.value(label.value);
+      }
+      w.end_object();
+    }
     w.key("type");
-    w.value(kind_name(static_cast<int>(entry.kind)));
+    w.value(to_string(entry.kind));
     switch (entry.kind) {
-      case Kind::kCounter:
+      case MetricKind::kCounter:
         w.key("value");
         w.value(static_cast<std::int64_t>(entry.counter->value()));
         break;
-      case Kind::kGauge:
+      case MetricKind::kGauge:
         w.key("value");
         w.value(entry.gauge->value());
         break;
-      case Kind::kHistogram: {
+      case MetricKind::kHistogram: {
         const Histogram& h = *entry.histogram;
         w.key("count");
         w.value(static_cast<std::int64_t>(h.count()));
@@ -175,28 +299,42 @@ void Registry::write_json(std::ostream& os) const {
 
 void Registry::write_text(std::ostream& os) const {
   const std::scoped_lock lock(mutex_);
-  for (const auto& [name, entry] : metrics_) {
-    os << "# TYPE " << name << ' ' << kind_name(static_cast<int>(entry.kind))
-       << "\n";
+  // Map order keeps every label set of one name contiguous (see the key
+  // scheme in the header), so one TYPE line per name needs only a
+  // last-name check, not a seen-set.
+  std::string_view last_name;
+  for (const auto& [key, entry] : metrics_) {
+    if (entry.name != last_name) {
+      os << "# TYPE " << entry.name << ' ' << to_string(entry.kind) << "\n";
+      last_name = entry.name;
+    }
     switch (entry.kind) {
-      case Kind::kCounter:
-        os << name << ' ' << entry.counter->value() << "\n";
+      case MetricKind::kCounter:
+        os << entry.name;
+        if (!entry.labels.empty()) write_label_set(os, entry.labels);
+        os << ' ' << entry.counter->value() << "\n";
         break;
-      case Kind::kGauge:
-        os << name << ' ' << entry.gauge->value() << "\n";
+      case MetricKind::kGauge:
+        os << entry.name;
+        if (!entry.labels.empty()) write_label_set(os, entry.labels);
+        os << ' ';
+        write_prom_double(os, entry.gauge->value());
+        os << "\n";
         break;
-      case Kind::kHistogram: {
+      case MetricKind::kHistogram: {
         const Histogram& h = *entry.histogram;
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
           cumulative += h.bucket_count(i);
-          os << name << "_bucket{le=\"";
+          os << entry.name << "_bucket{le=\"";
           if (i < h.bounds().size()) os << h.bounds()[i];
           else os << "+Inf";
           os << "\"} " << cumulative << "\n";
         }
-        os << name << "_sum " << h.sum() << "\n";
-        os << name << "_count " << h.count() << "\n";
+        os << entry.name << "_sum ";
+        write_prom_double(os, h.sum());
+        os << "\n";
+        os << entry.name << "_count " << h.count() << "\n";
         break;
       }
     }

@@ -130,12 +130,37 @@ class Histogram {
 /// Upper bounds suited to pipeline-stage wall times (1 ms .. 10 s).
 [[nodiscard]] std::span<const double> default_duration_bounds_ms() noexcept;
 
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind) noexcept;
+
+/// One label on a metric series. Label names follow Prometheus rules
+/// ([a-zA-Z_][a-zA-Z0-9_]*); values are arbitrary UTF-8 and get escaped at
+/// exposition time — this is how per-node series (`speccal_node_health`)
+/// carry node ids like "dave-rooftop" that are illegal in metric names.
+struct Label {
+  std::string name;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Flat scalar view of one exposition row, for samplers that track series
+/// over time. Histograms flatten to two monotonic rows (`<name>_count`,
+/// `<name>_sum`, both reported as kCounter). `series` is the full
+/// Prometheus-rendered identity (`name{k="v"}`), unique per row.
+struct ScalarSample {
+  std::string series;
+  MetricKind kind{};
+  double value = 0.0;
+};
+
 /// Thread-safe name -> metric registry with text and JSON exposition.
 ///
-/// counter()/gauge()/histogram() get-or-create: the same name always
-/// returns the same handle, so independent call sites share one series.
-/// Requesting an existing name as a different kind throws
-/// std::invalid_argument (as does a name outside [a-zA-Z0-9_:]).
+/// counter()/gauge()/histogram() get-or-create: the same (name, labels)
+/// always returns the same handle, so independent call sites share one
+/// series. Requesting an existing name as a different kind throws
+/// std::invalid_argument (as does a name outside [a-zA-Z0-9_:], a label
+/// name outside [a-zA-Z_][a-zA-Z0-9_]*, or a duplicated label name).
 class Registry {
  public:
   Registry() = default;
@@ -149,6 +174,12 @@ class Registry {
 
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Labeled variants: label order is irrelevant (sets are canonicalized by
+  /// sorting on label name); every label set of one metric name must agree
+  /// on kind. Histograms are deliberately unlabeled — per-node cardinality
+  /// belongs on cheap scalars, not bucket arrays.
+  [[nodiscard]] Counter& counter(std::string_view name, Labels labels);
+  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels);
   /// Bounds must be strictly increasing and non-empty; they are fixed by
   /// the first registration (later calls with the same name return the
   /// existing histogram and ignore `bounds`).
@@ -157,30 +188,43 @@ class Registry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Iteration API for obs::Sampler: every series flattened to scalars,
+  /// ordered by series identity (stable across calls as long as no new
+  /// series register in between).
+  [[nodiscard]] std::vector<ScalarSample> scalar_samples() const;
+
   /// JSON exposition:
   ///   {"metrics":[{"name":...,"type":"counter","value":N}, ...]}
-  /// Histograms carry cumulative `le` buckets plus sum/count. Emits onto an
-  /// open writer so callers can embed the object in a larger document.
+  /// Labeled series additionally carry {"labels":{...}}. Histograms carry
+  /// cumulative `le` buckets plus sum/count. Emits onto an open writer so
+  /// callers can embed the object in a larger document.
   void write_json(util::JsonWriter& w) const;
   /// Standalone-document convenience.
   void write_json(std::ostream& os) const;
 
-  /// Prometheus-style text exposition (# TYPE lines, _bucket{le="..."}).
+  /// Prometheus-style text exposition (# TYPE lines once per metric name,
+  /// `name{k="v"}` series, `_bucket{le="..."}`; non-finite values render as
+  /// NaN/+Inf/-Inf per the text-format spec, not ostream's nan/inf).
   void write_text(std::ostream& os) const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
-    Kind kind{};
+    std::string name;  // base metric name (key also encodes labels)
+    Labels labels;     // canonically sorted; empty for unlabeled series
+    MetricKind kind{};
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry& entry_for(std::string_view name, Kind kind,
+  Entry& entry_for(std::string_view name, Labels labels, MetricKind kind,
                    std::span<const double> bounds);
 
   mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> metrics_;  // name-ordered exposition
+  // Keyed so every label set of one name sorts contiguously, right after
+  // the unlabeled series and before any longer name ("name" < "name\x01.."
+  // < "name_sub"): exposition stays name-grouped with one pass.
+  std::map<std::string, Entry, std::less<>> metrics_;
+  std::map<std::string, MetricKind, std::less<>> kinds_;  // name -> kind
 };
 
 }  // namespace speccal::obs

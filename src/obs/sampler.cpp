@@ -1,0 +1,180 @@
+#include "obs/sampler.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace speccal::obs {
+
+// --------------------------------------------------------------- sampler ----
+
+Sampler::Sampler(Registry& registry, std::size_t max_frames)
+    : registry_(registry),
+      max_frames_(max_frames),
+      t0_(std::chrono::steady_clock::now()) {
+  if (max_frames == 0)
+    throw std::invalid_argument("Sampler.max_frames must be >= 1");
+}
+
+std::size_t Sampler::sample() {
+  // Read the registry before taking our own lock: scalar_samples() holds
+  // the registry mutex and we never want to nest the two.
+  const std::vector<ScalarSample> now = registry_.scalar_samples();
+  const auto t = std::chrono::steady_clock::now();
+
+  const std::scoped_lock lock(mutex_);
+  SamplerFrame frame;
+  frame.tick = next_tick_++;
+  frame.t_ms = std::chrono::duration<double, std::milli>(t - t0_).count();
+  for (const ScalarSample& s : now) {
+    const auto it = prev_.find(s.series);
+    const double prev = it == prev_.end() ? 0.0 : it->second;
+    const double delta = s.value - prev;
+    // Record movement; on a series' first appearance a zero value is noise
+    // (every just-registered counter would show up), so require nonzero.
+    const bool fresh = it == prev_.end();
+    if ((fresh && s.value != 0.0) || (!fresh && delta != 0.0))
+      frame.points.push_back({s.series, s.kind, s.value, delta});
+    if (fresh) prev_.emplace(s.series, s.value);
+    else it->second = s.value;
+  }
+  const std::size_t recorded = frame.points.size();
+  if (frames_.size() < max_frames_) {
+    frames_.push_back(std::move(frame));
+  } else {
+    frames_[head_] = std::move(frame);
+    head_ = (head_ + 1) % max_frames_;
+    ++dropped_;
+  }
+  return recorded;
+}
+
+std::size_t Sampler::frame_count() const {
+  const std::scoped_lock lock(mutex_);
+  return frames_.size();
+}
+
+std::uint64_t Sampler::dropped_frames() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::vector<SamplerFrame> Sampler::frames() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SamplerFrame> out;
+  out.reserve(frames_.size());
+  for (std::size_t i = 0; i < frames_.size(); ++i)
+    out.push_back(frames_[(head_ + i) % frames_.size()]);
+  return out;
+}
+
+void Sampler::write_json(std::ostream& os) const {
+  const std::vector<SamplerFrame> snapshot = frames();
+  std::uint64_t dropped = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    dropped = dropped_;
+  }
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema_version");
+  w.value(std::int64_t{1});
+  w.key("max_frames");
+  w.value(static_cast<std::int64_t>(max_frames_));
+  w.key("dropped_frames");
+  w.value(static_cast<std::int64_t>(dropped));
+  w.key("frames");
+  w.begin_array();
+  for (const SamplerFrame& frame : snapshot) {
+    w.begin_object();
+    w.key("tick");
+    w.value(static_cast<std::int64_t>(frame.tick));
+    w.key("t_ms");
+    w.value(frame.t_ms);
+    w.key("points");
+    w.begin_array();
+    for (const SamplePoint& p : frame.points) {
+      w.begin_object();
+      w.key("series");
+      w.value(p.series);
+      w.key("kind");
+      w.value(to_string(p.kind));
+      w.key("value");
+      w.value(p.value);
+      w.key("delta");
+      w.value(p.delta);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+// ----------------------------------------------------------- slo tracker ----
+
+SloTracker::SloTracker(Registry& registry) : registry_(registry) {}
+
+SloTracker& SloTracker::global() {
+  // Leaked on purpose: StageTimer unwinds may outlive static destructors
+  // (same rule as Registry::global()).
+  static SloTracker* instance = new SloTracker(Registry::global());
+  return *instance;
+}
+
+void SloTracker::set_budget(std::string_view stage, double budget_ms) {
+  if (!(budget_ms > 0.0))
+    throw std::invalid_argument("SloTracker: budget_ms must be > 0");
+  const std::scoped_lock lock(mutex_);
+  auto [it, inserted] = slots_.try_emplace(std::string(stage));
+  Slot& slot = it->second;
+  if (inserted) {
+    slot.slo.stage = std::string(stage);
+    const Labels labels{{"stage", slot.slo.stage}};
+    slot.observed_total =
+        &registry_.counter("speccal_slo_stage_observed_total", labels);
+    slot.breaches_total =
+        &registry_.counter("speccal_slo_stage_breaches_total", labels);
+    slot.burn_rate = &registry_.gauge("speccal_slo_stage_burn_rate", labels);
+  }
+  slot.slo.budget_ms = budget_ms;
+  any_budgets_.store(true, std::memory_order_relaxed);
+}
+
+void SloTracker::clear() {
+  const std::scoped_lock lock(mutex_);
+  any_budgets_.store(false, std::memory_order_relaxed);
+  slots_.clear();
+}
+
+void SloTracker::observe(std::string_view stage, double actual_ms) {
+  if (!any_budgets_.load(std::memory_order_relaxed)) return;
+  const std::scoped_lock lock(mutex_);
+  const auto it = slots_.find(stage);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  slot.slo.observed += 1;
+  slot.slo.total_ms += actual_ms;
+  const double over = actual_ms - slot.slo.budget_ms;
+  if (over > 0.0) {
+    slot.slo.breaches += 1;
+    slot.slo.total_over_ms += over;
+    slot.breaches_total->add(1);
+  }
+  slot.observed_total->add(1);
+  slot.burn_rate->set(slot.slo.burn_rate());
+}
+
+std::vector<StageSlo> SloTracker::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<StageSlo> out;
+  out.reserve(slots_.size());
+  for (const auto& [stage, slot] : slots_) out.push_back(slot.slo);
+  return out;
+}
+
+}  // namespace speccal::obs

@@ -1,0 +1,149 @@
+// Rolling metric snapshots and stage-latency SLO tracking.
+//
+// obs::Sampler turns the registry's monotonically-growing counters into a
+// delta time-series: each sample() tick flattens every series to a scalar
+// (Registry::scalar_samples()), diffs it against the previous tick, and
+// keeps a bounded ring of frames recording only the series that moved.
+// That is the signal a fleet operator actually watches — "quarantines per
+// heartbeat", "queue rejects this interval" — and it is what
+// fleet_audit --metrics-out flushes periodically so a killed 10k-node run
+// still leaves a telemetry tail behind.
+//
+// obs::SloTracker holds per-stage latency budgets (survey has 50 ms, ...)
+// and is fed by calib::StageTimer on every stage completion. When no
+// budget is configured — the default — observe() is one relaxed atomic
+// load, so the tracker costs nothing on uninstrumented runs (the
+// bench/obs_overhead gate covers the enabled path). With budgets set it
+// maintains, per stage: observations, breaches (actual > budget), total
+// actual and over-budget milliseconds, and a burn rate published as
+//   speccal_slo_stage_observed_total{stage="..."}
+//   speccal_slo_stage_breaches_total{stage="..."}
+//   speccal_slo_stage_burn_rate{stage="..."}   (gauge)
+// where burn_rate = total_actual_ms / (budget_ms * observed): 1.0 means
+// running exactly at budget, >1 means the error budget is burning.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace speccal::obs {
+
+/// One changed series inside a sampler frame.
+struct SamplePoint {
+  std::string series;  // Prometheus-rendered identity, e.g. name{k="v"}
+  MetricKind kind{};
+  double value = 0.0;  // absolute value at this tick
+  double delta = 0.0;  // change since the previous tick (== value on first)
+};
+
+/// One sample() tick: steady-clock timestamp plus every series that moved.
+struct SamplerFrame {
+  std::uint64_t tick = 0;  // 0-based, survives frame eviction
+  double t_ms = 0.0;       // steady ms since Sampler construction
+  std::vector<SamplePoint> points;
+};
+
+/// Bounded delta-time-series recorder over a Registry. sample() is
+/// thread-safe; the intended shape is one caller ticking it on a heartbeat
+/// (fleet_audit's progress callback) while workers keep publishing.
+class Sampler {
+ public:
+  /// Throws std::invalid_argument ("Sampler.max_frames ...") when
+  /// max_frames is 0.
+  explicit Sampler(Registry& registry, std::size_t max_frames = kDefaultMaxFrames);
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Take one snapshot. Frame 0 records every nonzero series; later frames
+  /// record only series whose value changed. Returns the number of points
+  /// recorded in this frame.
+  std::size_t sample();
+
+  [[nodiscard]] std::size_t frame_count() const;
+  /// Frames evicted by the ring bound (oldest-first).
+  [[nodiscard]] std::uint64_t dropped_frames() const;
+  [[nodiscard]] std::vector<SamplerFrame> frames() const;
+
+  /// {"schema_version":1,"max_frames":N,"dropped_frames":N,"frames":[
+  ///    {"tick":0,"t_ms":1.5,"points":[
+  ///       {"series":"speccal_x_total","kind":"counter","value":3,"delta":3}]}]}
+  void write_json(std::ostream& os) const;
+
+  static constexpr std::size_t kDefaultMaxFrames = 512;
+
+ private:
+  Registry& registry_;
+  const std::size_t max_frames_;
+  const std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, double> prev_;  // series -> last value
+  std::vector<SamplerFrame> frames_;              // ring, oldest at head_
+  std::size_t head_ = 0;
+  std::uint64_t next_tick_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Per-stage latency budget snapshot row (see snapshot()).
+struct StageSlo {
+  std::string stage;
+  double budget_ms = 0.0;
+  std::uint64_t observed = 0;
+  std::uint64_t breaches = 0;
+  double total_ms = 0.0;
+  double total_over_ms = 0.0;  // sum of max(0, actual - budget)
+  [[nodiscard]] double burn_rate() const noexcept {
+    return observed == 0 ? 0.0 : total_ms / (budget_ms * static_cast<double>(observed));
+  }
+};
+
+/// Stage-latency SLO tracker fed by calib::StageTimer. Stages are keyed by
+/// name string so the obs layer stays ignorant of calib's Stage enum.
+class SloTracker {
+ public:
+  explicit SloTracker(Registry& registry);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// The instance StageTimer publishes into, bound to Registry::global().
+  /// Intentionally leaked (same lifetime rule as Registry::global()).
+  [[nodiscard]] static SloTracker& global();
+
+  /// Arm a budget for one stage (overwrites any previous budget). Throws
+  /// std::invalid_argument when budget_ms <= 0.
+  void set_budget(std::string_view stage, double budget_ms);
+  /// Disarm everything; observe() returns to its one-atomic-load fast path.
+  void clear();
+
+  /// Record one stage completion. No-op (one relaxed load) unless a budget
+  /// is armed for `stage`.
+  void observe(std::string_view stage, double actual_ms);
+
+  [[nodiscard]] std::vector<StageSlo> snapshot() const;
+
+ private:
+  struct Slot {
+    StageSlo slo;
+    Counter* observed_total = nullptr;
+    Counter* breaches_total = nullptr;
+    Gauge* burn_rate = nullptr;
+  };
+  Registry& registry_;
+  std::atomic<bool> any_budgets_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot, std::less<>> slots_;
+};
+
+}  // namespace speccal::obs

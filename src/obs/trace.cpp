@@ -88,15 +88,23 @@ std::size_t TraceSession::event_count() const {
   return events_.size();
 }
 
+void TraceSession::name_thread(std::string_view name, int sort_index) {
+  const std::scoped_lock lock(mutex_);
+  const int tid = tid_for_locked(std::this_thread::get_id());
+  thread_labels_[tid] = ThreadLabel{std::string(name), sort_index};
+}
+
 void TraceSession::write_chrome_trace(std::ostream& os) const {
   // Snapshot under the lock, serialize outside event insertion order: the
   // viewer expects stable sort by timestamp for "X" events on one track.
   std::vector<Event> events;
   std::size_t thread_count = 0;
+  std::map<int, ThreadLabel> labels;
   {
     const std::scoped_lock lock(mutex_);
     events = events_;
     thread_count = threads_.size();
+    labels = thread_labels_;
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
@@ -120,6 +128,7 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
   w.end_object();
   w.end_object();
   for (std::size_t tid = 0; tid < thread_count; ++tid) {
+    const auto label_it = labels.find(static_cast<int>(tid));
     w.begin_object();
     w.key("name");
     w.value("thread_name");
@@ -132,9 +141,29 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
     w.key("args");
     w.begin_object();
     w.key("name");
-    w.value(tid == 0 ? std::string("main") : "worker-" + std::to_string(tid));
+    if (label_it != labels.end())
+      w.value(label_it->second.name);
+    else
+      w.value(tid == 0 ? std::string("main") : "worker-" + std::to_string(tid));
     w.end_object();
     w.end_object();
+    if (label_it != labels.end() && label_it->second.sort_index >= 0) {
+      w.begin_object();
+      w.key("name");
+      w.value("thread_sort_index");
+      w.key("ph");
+      w.value("M");
+      w.key("pid");
+      w.value(1);
+      w.key("tid");
+      w.value(static_cast<std::int64_t>(tid));
+      w.key("args");
+      w.begin_object();
+      w.key("sort_index");
+      w.value(static_cast<std::int64_t>(label_it->second.sort_index));
+      w.end_object();
+      w.end_object();
+    }
   }
   for (const Event& ev : events) {
     w.begin_object();

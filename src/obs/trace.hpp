@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -61,6 +62,13 @@ class TraceSession {
                        clock::time_point start, clock::time_point end,
                        std::vector<SpanArg> args = {});
 
+  /// Label the *calling* thread's track in the export (and pin its lane
+  /// order when sort_index >= 0 — Perfetto sorts unpinned lanes by raw
+  /// tid). Executor workers call this once at startup so their lanes read
+  /// `worker-0..N-1` in pool order instead of registration order; unnamed
+  /// threads keep the "main"/"worker-<tid>" fallback.
+  void name_thread(std::string_view name, int sort_index = -1);
+
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] clock::time_point start_time() const noexcept { return t0_; }
 
@@ -79,12 +87,17 @@ class TraceSession {
     int tid = 0;
     std::vector<SpanArg> args;
   };
+  struct ThreadLabel {
+    std::string name;
+    int sort_index = -1;  // < 0: let the viewer sort by tid
+  };
   int tid_for_locked(std::thread::id id);
 
   mutable std::mutex mutex_;
   clock::time_point t0_;
   std::vector<Event> events_;
   std::vector<std::thread::id> threads_;  // index == tid
+  std::map<int, ThreadLabel> thread_labels_;
 };
 
 /// RAII span. Constructed against a session (or nullptr = disabled); records

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 
 namespace speccal::sdr {
@@ -52,8 +53,12 @@ const char* to_string(FaultKind kind) noexcept {
 
 FaultInjectingDevice::FaultInjectingDevice(std::unique_ptr<Device> inner,
                                            std::vector<FaultSpec> schedule,
-                                           std::uint64_t seed)
-    : inner_(std::move(inner)), schedule_(std::move(schedule)), rng_(seed) {
+                                           std::uint64_t seed,
+                                           std::string node_label)
+    : inner_(std::move(inner)),
+      schedule_(std::move(schedule)),
+      node_label_(std::move(node_label)),
+      rng_(seed) {
   if (inner_ == nullptr)
     throw std::invalid_argument("FaultInjectingDevice: inner device is null");
 }
@@ -71,15 +76,21 @@ const FaultSpec* FaultInjectingDevice::match(FaultOp op, std::uint64_t index) {
   return nullptr;
 }
 
-void FaultInjectingDevice::note_injection(const FaultSpec&) {
+void FaultInjectingDevice::note_injection(const FaultSpec& spec,
+                                          std::uint64_t index) {
   ++injected_;
   injected_counter().add();
+  obs::EventLog::global().log(
+      obs::EventSeverity::kWarning, "fault_injected", node_label_, {},
+      {obs::SpanArg::str("op", to_string(spec.op)),
+       obs::SpanArg::str("kind", to_string(spec.kind)),
+       obs::SpanArg::integer("op_index", static_cast<std::int64_t>(index))});
 }
 
 bool FaultInjectingDevice::tune(double center_freq_hz, double sample_rate_hz) {
   const std::uint64_t index = tune_ops_++;
   if (const FaultSpec* spec = match(FaultOp::kTune, index)) {
-    note_injection(*spec);
+    note_injection(*spec, index);
     if (spec->kind == FaultKind::kThrow)
       throw_injected(FaultOp::kTune, spec->kind, index);
     // kTuneRefuse (and any misdirected kind): the PLL refuses to lock. The
@@ -93,7 +104,7 @@ void FaultInjectingDevice::set_gain_db(double gain_db) {
   const std::uint64_t index = gain_ops_++;
   if (const FaultSpec* spec = match(FaultOp::kGain, index);
       spec != nullptr && spec->kind == FaultKind::kGainDriftDb) {
-    note_injection(*spec);
+    note_injection(*spec, index);
     inner_->set_gain_db(gain_db + spec->param);
     reported_gain_db_ = gain_db;  // the silent lie: report what was asked
     gain_lie_active_ = true;
@@ -111,7 +122,7 @@ dsp::Buffer FaultInjectingDevice::capture(std::size_t count) {
   const std::uint64_t index = capture_ops_++;
   const FaultSpec* spec = match(FaultOp::kCapture, index);
   if (spec == nullptr) return inner_->capture(count);
-  note_injection(*spec);
+  note_injection(*spec, index);
   switch (spec->kind) {
     case FaultKind::kThrow:
       throw_injected(FaultOp::kCapture, spec->kind, index);
@@ -150,7 +161,7 @@ void FaultInjectingDevice::capture_into(std::span<dsp::Sample> out) {
     inner_->capture_into(out);
     return;
   }
-  note_injection(*spec);
+  note_injection(*spec, index);
   switch (spec->kind) {
     case FaultKind::kThrow:
       throw_injected(FaultOp::kCapture, spec->kind, index);
@@ -224,7 +235,8 @@ void FaultProfile::validate() const {
 }
 
 std::unique_ptr<Device> FaultProfile::wrap(std::unique_ptr<Device> device,
-                                           std::size_t node_index) const {
+                                           std::size_t node_index,
+                                           std::string node_label) const {
   const std::vector<FaultSpec>* faults = faults_for(node_index);
   if (faults == nullptr) return device;
   // Per-node injector seed: stable function of the profile seed and the
@@ -233,7 +245,8 @@ std::unique_ptr<Device> FaultProfile::wrap(std::unique_ptr<Device> device,
   std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull * (node_index + 1));
   const std::uint64_t node_seed = util::splitmix64(state);
   return std::make_unique<FaultInjectingDevice>(std::move(device), *faults,
-                                                node_seed);
+                                                node_seed,
+                                                std::move(node_label));
 }
 
 namespace {

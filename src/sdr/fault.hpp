@@ -77,9 +77,11 @@ struct FaultSpec {
 /// fleet worker).
 class FaultInjectingDevice final : public Device {
  public:
+  /// `node_label` tags this device's injection events in the obs::EventLog
+  /// journal (empty = unattributed; the op counters still tick).
   FaultInjectingDevice(std::unique_ptr<Device> inner,
                        std::vector<FaultSpec> schedule,
-                       std::uint64_t seed = 0);
+                       std::uint64_t seed = 0, std::string node_label = {});
 
   // Device interface --------------------------------------------------------
   [[nodiscard]] DeviceInfo info() const override { return inner_->info(); }
@@ -114,10 +116,11 @@ class FaultInjectingDevice final : public Device {
  private:
   /// First spec whose window (and probability roll) covers op index `index`.
   [[nodiscard]] const FaultSpec* match(FaultOp op, std::uint64_t index);
-  void note_injection(const FaultSpec& spec);
+  void note_injection(const FaultSpec& spec, std::uint64_t index);
 
   std::unique_ptr<Device> inner_;
   std::vector<FaultSpec> schedule_;
+  std::string node_label_;
   util::Rng rng_;
   std::uint64_t capture_ops_ = 0;
   std::uint64_t tune_ops_ = 0;
@@ -157,8 +160,11 @@ struct FaultProfile {
       std::size_t node_index) const noexcept;
   /// Wrap `device` in a FaultInjectingDevice when node `node_index` has
   /// scripted faults; returns it unchanged (no decorator) otherwise.
+  /// `node_label` (typically the claims node id) attributes the injection
+  /// events in the journal.
   [[nodiscard]] std::unique_ptr<Device> wrap(std::unique_ptr<Device> device,
-                                             std::size_t node_index) const;
+                                             std::size_t node_index,
+                                             std::string node_label = {}) const;
 };
 
 /// Resolve `--fault-profile` input: a built-in name ("none", "flaky20",
