@@ -14,11 +14,14 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <vector>
 
+#include "calib/anomaly.hpp"
 #include "calib/fleet.hpp"
 #include "calib/health.hpp"
 #include "obs/eventlog.hpp"
+#include "scenario/adversary.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -85,12 +88,20 @@ int main(int argc, char** argv) {
 
   // fleet_audit [threads] [--threads=N] [--nodes=N] [--metrics-out=PATH]
   //             [--trace-out=PATH] [--fault-profile=<name|json>]
+  //             [--anomaly-profile=<name|json>] [--anomaly-out=PATH]
   //             [--health-out=PATH] [--events-out=PATH] [--samples-out=PATH]
   //             [--slo-budget-ms=MS]
   // Fault profiles script a reproducible chaos run: built-ins "none",
   // "flaky20", "chaos", or an inline JSON document (sdr/fault.hpp). With a
   // profile active the retry/quarantine policy is enabled and the run
   // self-checks its quarantine count against the profile's expectation.
+  // Anomaly profiles script RF-level adversaries onto victim nodes
+  // (scenario/adversary.hpp): the run arms the pipeline's anomaly-scan
+  // watchlist, evaluates the fleet-consensus detector
+  // (calib/anomaly.hpp), prints the worst offenders, and self-checks that
+  // every scripted node — and only those — was flagged. --anomaly-out
+  // writes the findings JSON (and by itself arms detection on a clean
+  // fleet, which must produce zero findings).
   // --health-out scores every node (calib/health.hpp), prints the worst-N
   // table and writes the health JSON; --events-out dumps the structured
   // event journal as JSON-lines; --samples-out records a registry delta
@@ -104,7 +115,10 @@ int main(int argc, char** argv) {
   std::string events_out;
   std::string samples_out;
   double slo_budget_ms = 0.0;
+  std::string anomaly_out;
   sdr::FaultProfile fault_profile;
+  scenario::AdversaryProfile anomaly_profile;
+  bool anomaly_armed = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0)
@@ -123,7 +137,18 @@ int main(int argc, char** argv) {
       samples_out = arg.substr(14);
     else if (arg.rfind("--slo-budget-ms=", 0) == 0)
       slo_budget_ms = std::atof(arg.c_str() + 16);
-    else if (arg.rfind("--fault-profile=", 0) == 0) {
+    else if (arg.rfind("--anomaly-out=", 0) == 0) {
+      anomaly_out = arg.substr(14);
+      anomaly_armed = true;
+    } else if (arg.rfind("--anomaly-profile=", 0) == 0) {
+      try {
+        anomaly_profile = scenario::make_adversary_profile(arg.substr(18));
+        anomaly_armed = true;
+      } catch (const std::exception& e) {
+        std::cerr << "fleet_audit: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--fault-profile=", 0) == 0) {
       try {
         fault_profile = sdr::make_fault_profile(arg.substr(16));
       } catch (const std::exception& e) {
@@ -160,6 +185,17 @@ int main(int argc, char** argv) {
 
   calib::PipelineConfig cfg;
   cfg.survey.fidelity = calib::Fidelity::kLinkBudget;  // fleet-scale sweep
+  if (anomaly_armed) {
+    // Arm the anomaly-scan stage: every node captures the standard
+    // watchlist (1090ES + the five downlink centres) after its normal
+    // stages, giving the detector bands the model-level survey never
+    // touches at RF.
+    cfg.anomaly_scan.enabled = true;
+    cfg.anomaly_scan.bands = scenario::standard_watchlist();
+    std::cout << "Anomaly profile '" << anomaly_profile.name << "': "
+              << anomaly_profile.nodes.size() << " scripted victim(s), "
+              << cfg.anomaly_scan.bands.size() << " watch band(s)\n";
+  }
   if (chaos) {
     cfg.retry.max_attempts = fault_profile.retry_max_attempts;
     cfg.retry.initial_backoff_s = fault_profile.initial_backoff_s;
@@ -211,13 +247,17 @@ int main(int argc, char** argv) {
     job.claims.claims_outdoor = entry.claims_outdoor;
     job.claims.claims_omnidirectional = entry.claims_omni;
     // Each node's device is created on the worker that calibrates it, from
-    // the shared scenario seed only — no shared mutable state. The fault
-    // profile wraps scripted nodes in a seeded FaultInjectingDevice; nodes
-    // without faults get the bare device (bitwise-identical reports).
-    job.make_device = [&world, &fault_profile, site = entry.site, index,
-                       id = entry.id]() {
-      return fault_profile.wrap(scenario::make_owned_node(site, world, kSeed),
-                                index, id);
+    // the shared scenario seed only — no shared mutable state. The anomaly
+    // profile attaches scripted adversary RF sources to victim nodes'
+    // front ends, then the fault profile wraps scripted nodes in a seeded
+    // FaultInjectingDevice; unscripted nodes get the bare device
+    // (bitwise-identical reports).
+    job.make_device = [&world, &fault_profile, &anomaly_profile,
+                       site = entry.site, index, id = entry.id]() {
+      return fault_profile.wrap(
+          scenario::make_owned_node(site, world, kSeed,
+                                    anomaly_profile.sources_for(index)),
+          index, id);
     };
     jobs.push_back(std::move(job));
   }
@@ -355,6 +395,56 @@ int main(int argc, char** argv) {
               << health.unhealthy_count << " unhealthy)\n";
   }
 
+  // Fleet-consensus anomaly detection: every node's TV sweep + watchlist
+  // against its neighbor-weighted consensus, typed findings merged into
+  // flagged reports, speccal_anomaly_* published (so --metrics-out carries
+  // them), worst offenders rendered.
+  std::optional<calib::AnomalyReport> anomalies;
+  if (anomaly_armed) {
+    const calib::AnomalyDetector detector;
+    anomalies = detector.evaluate(registry);
+    detector.publish(*anomalies, obs::Registry::global());
+    detector.annotate(registry, *anomalies);
+
+    constexpr std::size_t kMaxAnomalyRows = 10;
+    util::Table offenders(
+        {"rank", "node", "kind", "bands", "residual dB", "rho"});
+    std::size_t shown = 0;
+    for (const auto& f : anomalies->findings) {
+      if (shown++ == kMaxAnomalyRows) break;
+      std::string bands;
+      for (std::size_t b = 0; b < f.bands.size(); ++b)
+        bands += (b == 0 ? "" : " ") + f.bands[b];
+      offenders.add_row({std::to_string(shown), f.node_id,
+                         calib::to_string(f.kind), bands,
+                         util::format_fixed(f.worst_residual_db, 1),
+                         util::format_fixed(f.max_rho, 2)});
+    }
+    offenders.set_title(
+        anomalies->findings.size() > kMaxAnomalyRows
+            ? "RF anomalies, worst " + std::to_string(kMaxAnomalyRows) +
+                  " of " + std::to_string(anomalies->findings.size())
+            : "RF anomalies (worst first)");
+    std::cout << "\n";
+    offenders.print(std::cout);
+    std::cout << "Anomaly sweep: " << anomalies->flagged_nodes << "/"
+              << anomalies->nodes_evaluated << " node(s) flagged over "
+              << anomalies->bands_evaluated << " band(s)"
+              << (anomalies->geo_weighted ? " (geo-weighted consensus)" : "")
+              << "\n";
+
+    if (!anomaly_out.empty()) {
+      std::ofstream os(anomaly_out);
+      if (!os) {
+        std::cerr << "fleet_audit: cannot write " << anomaly_out << "\n";
+        return 1;
+      }
+      anomalies->write_json(os);
+      std::cout << "Wrote " << anomalies->findings.size()
+                << " anomaly finding(s) to " << anomaly_out << "\n";
+    }
+  }
+
   if (trace) {
     std::ofstream os(trace_out);
     if (!os) {
@@ -419,6 +509,40 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nChaos self-check OK: " << summary.faults.quarantined
               << " quarantined node(s) as scripted\n";
+  }
+
+  // Anomaly self-check (also after the metrics/findings files, so a failed
+  // run leaves its evidence behind): every scripted victim must be flagged
+  // (100% recall) and nothing else may be (zero false positives).
+  if (anomalies) {
+    std::set<std::string> expected;
+    for (const auto& node : anomaly_profile.nodes) {
+      if (node.index < fleet.size()) {
+        expected.insert(fleet[node.index].id);
+      } else {
+        std::cerr << "fleet_audit: anomaly profile scripts node index "
+                  << node.index << " but the fleet has only " << fleet.size()
+                  << " node(s)\n";
+        return 2;
+      }
+    }
+    bool ok = true;
+    for (const auto& id : expected)
+      if (!anomalies->flagged(id)) {
+        std::cerr << "fleet_audit: scripted victim " << id
+                  << " was not flagged (missed detection)\n";
+        ok = false;
+      }
+    for (const auto& f : anomalies->findings)
+      if (expected.find(f.node_id) == expected.end()) {
+        std::cerr << "fleet_audit: clean node " << f.node_id
+                  << " was flagged as " << calib::to_string(f.kind)
+                  << " (false positive)\n";
+        ok = false;
+      }
+    if (!ok) return 4;
+    std::cout << "Anomaly self-check OK: " << expected.size()
+              << " scripted victim(s) flagged, no false positives\n";
   }
   return 0;
 }

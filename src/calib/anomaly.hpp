@@ -1,0 +1,144 @@
+// Fleet-consensus RF anomaly detection (DESIGN.md §16).
+//
+// A crowd-sourced network's best interference detector is the crowd: a
+// jammer, spoofer or rogue transmitter is *local*, so the victim's band
+// powers diverge from what geographically close, healthy peers measure.
+// AnomalyDetector turns that into a typed report:
+//
+//   1. Consensus — for every measured band (the six TV channels plus the
+//      anomaly-scan watchlist), each node's reference level is the
+//      *neighbor-weighted median* of the other nodes' powers, weighted by
+//      a Gaussian distance kernel exp(-d^2 / 2 sigma^2) over the scan
+//      stage's recorded positions. Weighting by proximity keeps a dense
+//      fleet's site-to-site propagation differences (rooftop vs indoor)
+//      from masquerading as interference; when positions are unavailable
+//      the detector degrades to the plain fleet median.
+//   2. Residual — one-sided: only a node *hotter* than its consensus by
+//      residual_threshold_db flags (a cold band is a sensitivity/health
+//      problem, HealthMonitor's beat).
+//   3. Typing — flagged bands are classified with the lag-1
+//      autocorrelation occupancy cross-check (monitor::, dsp::):
+//        * any "adsb-*" watch band hot            -> kGhostAdsb
+//        * any "cell-*" watch band hot            -> kRoguePss
+//        * >= jammer_min_bands TV channels hot    -> kWidebandJammer
+//        * exactly 2 TV channels hot, coherent    -> kIntermodPair
+//        * 1 TV channel hot                       -> kSpuriousEmitter
+//      (rho ~1 = coherent carrier; ATSC sits near 0.4; wideband noise
+//      near 0 — see tv::ChannelPowerReading::autocorr_rho.)
+//
+// Clean-fleet guarantee (the HealthMonitor convention, locked by
+// tests/test_anomaly.cpp): evaluate() is a pure read, annotate() touches
+// flagged nodes only, and a fault-free fleet produces zero findings — so
+// an armed clean run's reports stay byte-identical to an unarmed one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "calib/pipeline.hpp"
+
+namespace speccal::obs {
+class Registry;
+}
+
+namespace speccal::calib {
+
+struct AnomalyConfig {
+  /// One-sided residual above the neighbor consensus that flags a band.
+  double residual_threshold_db = 6.0;
+  /// Gaussian distance kernel scale for neighbor weighting [m]. The
+  /// testbed's sites sit 22-25 m apart; sigma = 5 makes co-sited peers
+  /// (shared multipath environment) dominate the consensus so the large
+  /// rooftop-vs-indoor propagation spread never reads as an anomaly.
+  double distance_sigma_m = 5.0;
+  /// Minimum nodes reporting a band before its consensus counts
+  /// (HealthMonitor convention), and minimum summed neighbor weight per
+  /// node when geographic weighting is active.
+  std::size_t min_band_population = 3;
+  double min_neighbor_weight = 1.5;
+  /// Lag-1 |rho| at or above which a flagged TV band counts as coherent.
+  double cw_rho_threshold = 0.6;
+  /// Hot TV channels at or above which a node types as a wideband jammer.
+  std::size_t jammer_min_bands = 3;
+
+  /// Throws std::invalid_argument naming the field (shared validation
+  /// convention, DESIGN.md §13).
+  void validate() const;
+};
+
+enum class AnomalyKind : std::uint8_t {
+  kWidebandJammer,
+  kSpuriousEmitter,
+  kIntermodPair,
+  kGhostAdsb,
+  kRoguePss,
+};
+
+[[nodiscard]] const char* to_string(AnomalyKind kind) noexcept;
+
+/// One typed detection on one node. `bands` lists the flagged band keys
+/// ("tv:22", "watch:adsb-1090", ...), worst_residual_db the largest
+/// excursion over consensus among them, max_rho the strongest coherence.
+struct AnomalyFinding {
+  AnomalyKind kind = AnomalyKind::kSpuriousEmitter;
+  std::string node_id;
+  std::vector<std::string> bands;
+  double worst_residual_db = 0.0;
+  double max_rho = 0.0;
+};
+
+/// Fleet anomaly snapshot, findings ordered worst-first (residual
+/// descending; node id, then kind as tiebreaks so exports are
+/// deterministic).
+struct AnomalyReport {
+  std::vector<AnomalyFinding> findings;
+  std::size_t nodes_evaluated = 0;
+  std::size_t flagged_nodes = 0;
+  /// Distinct band keys that reached consensus population.
+  std::size_t bands_evaluated = 0;
+  /// True when every node carried a scan position and the Gaussian
+  /// neighbor weighting was applied (false = plain fleet median).
+  bool geo_weighted = false;
+  double residual_threshold_db = 0.0;
+
+  [[nodiscard]] const AnomalyFinding* find(const std::string& node_id) const noexcept;
+  [[nodiscard]] bool flagged(const std::string& node_id) const noexcept;
+
+  /// Machine-readable export (golden schema locked by tests):
+  ///   {"schema_version":1,"residual_threshold_db":6,"geo_weighted":true,
+  ///    "nodes_evaluated":N,"bands_evaluated":B,"flagged_nodes":M,
+  ///    "findings":[{"node":...,"kind":"wideband-jammer",
+  ///                 "worst_residual_db":...,"max_rho":...,
+  ///                 "bands":["tv:14",...]}]}
+  void write_json(std::ostream& os) const;
+};
+
+class AnomalyDetector {
+ public:
+  /// Throws if `config` fails validate().
+  explicit AnomalyDetector(AnomalyConfig config = {});
+
+  [[nodiscard]] const AnomalyConfig& config() const noexcept { return config_; }
+
+  /// Evaluate every node currently in the registry against the fleet
+  /// consensus. Pure read: the registry and its reports are unchanged.
+  [[nodiscard]] AnomalyReport evaluate(const NodeRegistry& registry) const;
+
+  /// Publish speccal_anomaly_* metrics: the findings counter, the flagged
+  /// node gauge and one per-kind findings gauge.
+  void publish(const AnomalyReport& report, obs::Registry& registry) const;
+
+  /// Append a kWarning anomaly finding to every *flagged* node's trust
+  /// findings and journal an "anomaly_flagged" event per finding. Clean
+  /// nodes are never touched, so a clean fleet's reports stay
+  /// byte-identical to a run without anomaly detection.
+  void annotate(NodeRegistry& registry, const AnomalyReport& report) const;
+
+ private:
+  AnomalyConfig config_;
+};
+
+}  // namespace speccal::calib

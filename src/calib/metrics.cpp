@@ -45,6 +45,7 @@ const char* to_string(Stage stage) noexcept {
     case Stage::kTvSweep: return "tv_sweep";
     case Stage::kFuse: return "fuse";
     case Stage::kLoCal: return "lo_calibration";
+    case Stage::kAnomalyScan: return "anomaly_scan";
   }
   return "?";
 }

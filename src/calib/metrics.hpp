@@ -26,14 +26,15 @@ namespace speccal::calib {
 
 /// Pipeline stages in execution order (§5 end-to-end system).
 enum class Stage {
-  kSurvey,     // ADS-B directional survey
-  kFov,        // field-of-view estimation
-  kCellScan,   // cellular RSRP scan
-  kTvSweep,    // broadcast TV power sweep
-  kFuse,       // frequency response + classification + trust
-  kLoCal,      // reference-oscillator calibration
+  kSurvey,       // ADS-B directional survey
+  kFov,          // field-of-view estimation
+  kCellScan,     // cellular RSRP scan
+  kTvSweep,      // broadcast TV power sweep
+  kFuse,         // frequency response + classification + trust
+  kLoCal,        // reference-oscillator calibration
+  kAnomalyScan,  // watchlist band sweep feeding the anomaly detector
 };
-inline constexpr std::size_t kStageCount = 6;
+inline constexpr std::size_t kStageCount = 7;
 
 [[nodiscard]] const char* to_string(Stage stage) noexcept;
 

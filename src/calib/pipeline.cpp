@@ -5,9 +5,12 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "adsb/ppm.hpp"
+#include "dsp/iq.hpp"
 #include "obs/metrics.hpp"
 #include "prop/pathloss.hpp"
 #include "sdr/rx_environment.hpp"
@@ -21,8 +24,35 @@ namespace speccal::calib {
 static_assert(std::is_copy_constructible_v<WorldModel>);
 static_assert(std::is_copy_constructible_v<PipelineConfig>);
 
+void AnomalyScanConfig::validate() const {
+  if (!enabled) return;
+  if (!(gain_db >= 0.0 && gain_db <= 90.0))
+    throw std::invalid_argument(
+        "AnomalyScanConfig.gain_db must be in [0, 90] (got " +
+        std::to_string(gain_db) + ")");
+  if (bands.empty())
+    throw std::invalid_argument(
+        "AnomalyScanConfig.bands must be non-empty when enabled");
+  for (const WatchBand& band : bands) {
+    if (band.label.empty())
+      throw std::invalid_argument("WatchBand.label must be non-empty");
+    if (!(band.center_hz > 0.0))
+      throw std::invalid_argument("WatchBand.center_hz must be positive (band " +
+                                  band.label + ")");
+    if (!(band.sample_rate_hz > 0.0))
+      throw std::invalid_argument(
+          "WatchBand.sample_rate_hz must be positive (band " + band.label + ")");
+    if (!(band.capture_duration_s > 0.0))
+      throw std::invalid_argument(
+          "WatchBand.capture_duration_s must be positive (band " + band.label +
+          ")");
+  }
+}
+
 CalibrationPipeline::CalibrationPipeline(WorldModel world, PipelineConfig config)
-    : world_(std::move(world)), config_(config) {}
+    : world_(std::move(world)), config_(config) {
+  config_.anomaly_scan.validate();
+}
 
 // Everything a node's stage tasks share. Owned by the NodeTaskSet; tasks
 // capture it by raw pointer, so the set must outlive every task execution.
@@ -115,6 +145,13 @@ std::vector<StageSpec> CalibrationPipeline::stage_plan() const {
                    {Stage::kFov, Stage::kCellScan, Stage::kTvSweep}});
   if (config_.run_lo_calibration)
     specs.push_back({Stage::kLoCal, /*uses_device=*/true, {Stage::kTvSweep}});
+  // The watchlist sweep runs after every calibration capture, so arming it
+  // cannot perturb the measurements earlier stages would otherwise take —
+  // the clean-run bitwise guarantee the anomaly tests lock.
+  if (config_.anomaly_scan.enabled)
+    specs.push_back({Stage::kAnomalyScan, /*uses_device=*/true,
+                     {config_.run_lo_calibration ? Stage::kLoCal
+                                                 : Stage::kTvSweep}});
   return specs;
 }
 
@@ -332,6 +369,39 @@ NodeTaskSet CalibrationPipeline::plan(sdr::Device& device,
                       report.lo_calibration.pilots.size()) *
                   static_cast<std::uint64_t>(config_.lo.sample_rate_hz *
                                              config_.lo.capture_duration_s);
+            }));
+        break;
+      case Stage::kAnomalyScan:
+        // --- 6. Anomaly watchlist sweep ---------------------------------
+        set.tasks_.push_back(make_task(
+            spec.stage, spec.uses_device,
+            [ctx] {
+              ctx->report->anomaly_scan = AnomalyScanResult{};
+              ctx->report->metrics.at(Stage::kAnomalyScan) = StageSample{};
+            },
+            [this, ctx] {
+              CalibrationReport& report = *ctx->report;
+              report.anomaly_scan.position = ctx->rx.position;
+              for (const WatchBand& band : config_.anomaly_scan.bands) {
+                WatchObservation obs;
+                obs.label = band.label;
+                obs.center_hz = band.center_hz;
+                ctx->device->set_gain_mode(sdr::GainMode::kManual);
+                ctx->device->set_gain_db(config_.anomaly_scan.gain_db);
+                obs.tune_ok =
+                    ctx->device->tune(band.center_hz, band.sample_rate_hz);
+                if (obs.tune_ok) {
+                  const auto count = static_cast<std::size_t>(
+                      band.capture_duration_s * band.sample_rate_hz);
+                  const dsp::Buffer capture = ctx->device->capture(count);
+                  obs.power_dbfs = dsp::mean_power_dbfs(capture);
+                  obs.autocorr_rho = dsp::lag_autocorrelation(capture);
+                  report.metrics.at(Stage::kAnomalyScan).samples_captured +=
+                      capture.size();
+                }
+                report.anomaly_scan.bands.push_back(std::move(obs));
+              }
+              report.anomaly_scan.ran = true;
             }));
         break;
     }

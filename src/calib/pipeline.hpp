@@ -31,6 +31,7 @@
 #include "calib/survey.hpp"
 #include "calib/trust.hpp"
 #include "cellular/scanner.hpp"
+#include "geo/wgs84.hpp"
 #include "sdr/emitter.hpp"
 #include "tv/power_meter.hpp"
 
@@ -47,6 +48,58 @@ struct WorldModel {
   cellular::CellDatabase cells;
   /// Broadcast TV emitters (same configs used to build device sources).
   std::vector<sdr::EmitterConfig> tv_channels;
+  /// Seed of the *world* (transmitters, sky). Node factories derive emitter
+  /// waveform RNGs from this — never from a per-node seed — so every node
+  /// hears the same physical transmitters and fleet-consensus residuals
+  /// compare like with like (scenario::make_world threads it through).
+  std::uint64_t seed = 0;
+};
+
+/// One entry of the anomaly-scan watchlist: a band the scan stage tunes,
+/// captures and summarizes so the fleet-consensus anomaly detector can
+/// compare it across nodes. The calibration bands (TV channels) come free
+/// from the tv_sweep stage; the watchlist covers bands calibration never
+/// captures at RF — ADS-B 1090 MHz and the cellular downlink centers.
+struct WatchBand {
+  std::string label;            // band id, e.g. "adsb-1090" or "cell-2145"
+  double center_hz = 0.0;
+  double sample_rate_hz = 2e6;
+  double capture_duration_s = 0.02;
+};
+
+/// Config for the optional kAnomalyScan stage. Disabled by default: the
+/// stage captures extra spectrum, so plain calibration runs stay bitwise
+/// identical to builds that predate it.
+struct AnomalyScanConfig {
+  bool enabled = false;
+  double gain_db = 40.0;
+  std::vector<WatchBand> bands;
+
+  /// Throws std::invalid_argument naming the field (shared validation
+  /// convention, DESIGN.md §13). Only checked when enabled.
+  void validate() const;
+};
+
+/// Per-band summary captured by the anomaly scan stage.
+struct WatchObservation {
+  std::string label;
+  double center_hz = 0.0;
+  double power_dbfs = -200.0;
+  /// Normalized lag-1 autocorrelation of the capture (dsp::lag_autocorrelation)
+  /// — the occupancy second opinion: ~0 noise/wideband, ~1 CW.
+  double autocorr_rho = 0.0;
+  bool tune_ok = false;
+};
+
+/// In-memory result of the anomaly scan stage. Deliberately NOT part of the
+/// report's JSON export: clean-run reports must stay byte-identical whether
+/// or not the scan is armed (the detector annotates flagged nodes only).
+struct AnomalyScanResult {
+  bool ran = false;
+  /// Receiver position, recorded so the detector can weight consensus
+  /// neighbors geographically without a side-channel lookup.
+  geo::Geodetic position;
+  std::vector<WatchObservation> bands;
 };
 
 struct PipelineConfig {
@@ -73,6 +126,10 @@ struct PipelineConfig {
   /// engine then aborts the node); chaos runs and hardware deployments
   /// raise max_attempts and enable quarantine.
   RetryPolicy retry;
+  /// Optional anomaly-detection watchlist sweep (off by default; appended
+  /// after every other device stage so it never perturbs calibration
+  /// captures). scenario::standard_watchlist() fills the testbed bands.
+  AnomalyScanConfig anomaly_scan;
 };
 
 /// Complete evaluation of one node.
@@ -87,6 +144,9 @@ struct CalibrationReport {
   TrustReport trust;
   HardwareDiagnosis hardware;
   LoCalibrationResult lo_calibration;
+  /// Watchlist band summaries for the anomaly detector (in-memory only —
+  /// never serialized, see AnomalyScanResult).
+  AnomalyScanResult anomaly_scan;
   /// Where each stage's wall time / sample budget went.
   StageMetrics metrics;
   /// Per-stage fault history (retries, quarantines). Empty for a clean run;

@@ -5,6 +5,7 @@
 // accuracy matters (FFT verification, Parseval sums).
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <span>
 #include <vector>
@@ -28,6 +29,29 @@ using Buffer = std::vector<Sample>;
   const double p = mean_power(block);
   if (p <= 1e-20) return -200.0;
   return 10.0 * std::log10(p);
+}
+
+/// Normalized lag autocorrelation |R(lag)| / R(0) in [0, 1].
+///
+/// The cheap occupancy discriminant from USRP scanning receivers: white
+/// noise decorrelates at one sample (rho ~ 1/sqrt(N)), a band-limited
+/// signal occupying fraction B/fs of the capture keeps rho ~ sinc(B/fs)
+/// (~0.4 for an ATSC channel in an 8 Msps capture), and a CW tone holds
+/// rho ~ 1. Blocks shorter than lag+2 samples report 0.
+[[nodiscard]] inline double lag_autocorrelation(std::span<const Sample> block,
+                                                std::size_t lag = 1) noexcept {
+  if (lag == 0 || block.size() < lag + 2) return 0.0;
+  const std::size_t n = block.size() - lag;
+  std::complex<double> r_lag{0.0, 0.0};
+  double r0 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> a(block[i]);
+    const std::complex<double> b(block[i + lag]);
+    r_lag += std::conj(a) * b;
+    r0 += std::norm(a);
+  }
+  if (r0 <= 1e-20) return 0.0;
+  return std::min(1.0, std::abs(r_lag) / r0);
 }
 
 }  // namespace speccal::dsp

@@ -40,6 +40,15 @@ std::vector<ChannelObservation> detect_occupancy(const SweepResult& sweep,
   return out;
 }
 
+AutocorrOccupancyEstimate estimate_occupancy_autocorr(
+    std::span<const dsp::Sample> capture, const AutocorrOccupancyConfig& config) {
+  AutocorrOccupancyEstimate out;
+  out.rho = dsp::lag_autocorrelation(capture, config.lag);
+  out.power_dbfs = dsp::mean_power_dbfs(capture);
+  out.occupied = out.rho >= config.occupied_threshold;
+  return out;
+}
+
 void OccupancyTracker::ingest(const SweepResult& sweep) {
   const auto observations = detect_occupancy(sweep, channels_, config_);
   for (std::size_t i = 0; i < observations.size(); ++i)

@@ -6,9 +6,11 @@
 // noise floor, repeated over time, yields per-channel duty cycles.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "dsp/iq.hpp"
 #include "monitor/scanner.hpp"
 
 namespace speccal::monitor {
@@ -38,6 +40,39 @@ struct ChannelObservation {
 [[nodiscard]] std::vector<ChannelObservation> detect_occupancy(
     const SweepResult& sweep, const std::vector<Channel>& channels,
     const OccupancyConfig& config = {});
+
+/// Autocorrelation-based occupancy estimate — the cheap second opinion from
+/// the USRP scanning-receiver literature, independent of the Welch-PSD path.
+///
+/// Works on the raw time-domain capture of one channel (tuned to the
+/// channel center, sample rate covering the channel): white noise
+/// decorrelates at one sample, so rho = |R(1)|/R(0) sits near 0 on a vacant
+/// channel; any signal narrower than the capture bandwidth keeps adjacent
+/// samples correlated (ATSC in an 8 Msps capture holds rho ~ 0.4, a CW tone
+/// rho ~ 1). One O(N) pass, no FFT plan, no PSD — which is exactly why the
+/// anomaly detector uses it to cross-check PSD residuals: a sensor whose
+/// spectral path is lying still has to produce time-domain samples whose
+/// correlation structure matches.
+struct AutocorrOccupancyConfig {
+  /// Correlation lag in samples (1 = adjacent-sample).
+  std::size_t lag = 1;
+  /// rho at or above this reads as occupied. The default splits the vacant
+  /// extreme (rho ~ 1/sqrt(N), < 0.01 for any realistic capture) from the
+  /// weakest occupied case the Welch path would also flag (a band-limited
+  /// signal at detection-margin SNR holds rho >= ~0.25).
+  double occupied_threshold = 0.15;
+};
+
+struct AutocorrOccupancyEstimate {
+  double rho = 0.0;          // |R(lag)| / R(0), in [0, 1]
+  double power_dbfs = -200.0;
+  bool occupied = false;
+};
+
+/// Estimate occupancy of one captured channel from its lag autocorrelation.
+[[nodiscard]] AutocorrOccupancyEstimate estimate_occupancy_autocorr(
+    std::span<const dsp::Sample> capture,
+    const AutocorrOccupancyConfig& config = {});
 
 /// Duty-cycle bookkeeping across repeated sweeps.
 class OccupancyTracker {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace speccal::obs {
@@ -45,6 +46,12 @@ void EventLog::append(Event event) {
     ring_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    // Journal overflow surfaced in --metrics-out, not just the JSONL tail.
+    // Cold path (only fires once the ring has wrapped); the counter add is
+    // a relaxed atomic, safe under the journal mutex.
+    static Counter& dropped_total =
+        Registry::global().counter("speccal_events_dropped_total");
+    dropped_total.add();
   }
 }
 

@@ -183,6 +183,7 @@ calib::WorldModel make_world(std::uint64_t seed, std::size_t aircraft_count) {
   world.ground_truth_latency_s = 10.0;
   world.cells = make_cell_database();
   world.tv_channels = make_tv_stations();
+  world.seed = seed;
   return world;
 }
 
@@ -194,10 +195,16 @@ std::unique_ptr<sdr::SimulatedSdr> make_node(const SiteSetup& site,
       util::Rng(seed));
   if (world.sky)
     device->add_source(std::make_shared<airtraffic::AdsbSignalSource>(world.sky));
+  // Emitter waveforms are transmitter state: they must derive from the
+  // *world* seed (one shared sky/tower reality), never the per-node seed —
+  // otherwise two nodes of one fleet would hear different "broadcasts" from
+  // the same physical tower and fleet-consensus residuals would compare
+  // noise against noise. Only the device RNG (thermal noise, quantization
+  // dither) above is per-node.
   std::uint64_t stream = 1;
   for (const auto& emitter : world.tv_channels)
     device->add_source(std::make_shared<sdr::FixedEmitterSource>(
-        emitter, util::Rng(seed).fork(stream++)));
+        emitter, util::Rng(world.seed).fork(stream++)));
   return device;
 }
 
@@ -237,6 +244,16 @@ std::unique_ptr<sdr::Device> make_owned_node(Site site,
                                              std::uint64_t seed) {
   SiteSetup setup = make_site(site, seed);
   auto sdr = make_node(setup, world, seed);
+  return std::make_unique<OwnedNode>(std::move(setup), std::move(sdr));
+}
+
+std::unique_ptr<sdr::Device> make_owned_node(
+    Site site, const calib::WorldModel& world, std::uint64_t seed,
+    const std::vector<std::shared_ptr<sdr::SignalSource>>& extra_sources) {
+  SiteSetup setup = make_site(site, seed);
+  auto sdr = make_node(setup, world, seed);
+  for (const auto& source : extra_sources)
+    if (source) sdr->add_source(source);
   return std::make_unique<OwnedNode>(std::move(setup), std::move(sdr));
 }
 

@@ -81,6 +81,14 @@ struct SiteSetup {
 [[nodiscard]] std::unique_ptr<sdr::Device> make_owned_node(
     Site site, const calib::WorldModel& world, std::uint64_t seed);
 
+/// make_owned_node with additional RF sources on the air at this node —
+/// how the adversary scenario pack (scenario/adversary.hpp) injects
+/// jammers, spoofers and rogue towers into a fleet factory. An empty list
+/// is byte-identical to the plain overload.
+[[nodiscard]] std::unique_ptr<sdr::Device> make_owned_node(
+    Site site, const calib::WorldModel& world, std::uint64_t seed,
+    const std::vector<std::shared_ptr<sdr::SignalSource>>& extra_sources);
+
 /// Paper Figure-4 channel list (RF channels for 213..605 MHz).
 [[nodiscard]] std::vector<int> figure4_channels();
 

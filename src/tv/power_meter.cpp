@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsp/iq.hpp"
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
 
@@ -150,6 +151,9 @@ ChannelPowerReading PowerMeter::measure_channel(sdr::Device& device,
   const auto count =
       static_cast<std::size_t>(config_.capture_duration_s * config_.sample_rate_hz);
   const dsp::Buffer capture = device.capture(count);
+  // Occupancy cross-check over the raw capture (one O(N) pass, no device
+  // interaction — the reading itself is untouched).
+  out.autocorr_rho = dsp::lag_autocorrelation(capture);
 
   // Pilot fast-path gate: channels without an ATSC pilot integrate an
   // abbreviated prefix instead of the whole capture (DESIGN.md §14).

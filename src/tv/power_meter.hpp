@@ -97,6 +97,12 @@ struct ChannelPowerReading {
   /// True when the pilot gate found no pilot and the reading was integrated
   /// over the abbreviated capture prefix.
   bool gated = false;
+  /// Normalized lag-1 autocorrelation of the raw (pre-filter) capture —
+  /// the anomaly detector's occupancy cross-check (~0.4 for ATSC, ~1 for a
+  /// CW interferer parked in the channel, ~0 for noise or a jammer wider
+  /// than the capture). In-memory only: report JSON serializes the same
+  /// channel/freq/power triple as always, so clean runs stay byte-stable.
+  double autocorr_rho = 0.0;
 };
 
 /// Measures one or more ATSC channels through a Device (simulated or real).

@@ -170,7 +170,8 @@ TEST(StagePlan, DeclaresSerialOrderAndDeviceChain) {
   const auto world = sc::make_world(kSeed);
   cal::CalibrationPipeline pipeline(world, fast_config());
   const auto specs = pipeline.stage_plan();
-  ASSERT_EQ(specs.size(), cal::kStageCount);  // sky present, lo_cal enabled
+  // Sky present, lo_cal enabled; the anomaly scan stays disarmed by default.
+  ASSERT_EQ(specs.size(), cal::kStageCount - 1);
   EXPECT_EQ(specs.front().stage, cal::Stage::kSurvey);
   EXPECT_TRUE(specs.front().deps.empty());
   // Device-touching stages must form a chain (sdr::Device is not
@@ -185,6 +186,22 @@ TEST(StagePlan, DeclaresSerialOrderAndDeviceChain) {
                          << " not chained after " << cal::to_string(prev_device);
     prev_device = specs[k].stage;
   }
+}
+
+TEST(StagePlan, ArmedAnomalyScanChainsAfterLoCal) {
+  const auto world = sc::make_world(kSeed);
+  auto cfg = fast_config();
+  cfg.anomaly_scan.enabled = true;
+  cfg.anomaly_scan.bands.push_back({"adsb-1090", 1090e6, 2e6, 0.01});
+  cal::CalibrationPipeline pipeline(world, cfg);
+  const auto specs = pipeline.stage_plan();
+  ASSERT_EQ(specs.size(), cal::kStageCount);  // every stage armed
+  const auto& scan = specs.back();
+  EXPECT_EQ(scan.stage, cal::Stage::kAnomalyScan);
+  EXPECT_TRUE(scan.uses_device);
+  // Chained onto the end of the device chain (lo_cal is enabled here).
+  ASSERT_EQ(scan.deps.size(), 1u);
+  EXPECT_EQ(scan.deps.front(), cal::Stage::kLoCal);
 }
 
 TEST(NodeTaskSet, RunAllMatchesCalibrateBitwise) {

@@ -260,6 +260,130 @@ TEST(Occupancy, TrackerAccumulatesDutyCycle) {
   EXPECT_DOUBLE_EQ(tracker.duty_cycle(99), 0.0);  // out of range
 }
 
+// The autocorrelation estimator is the anomaly detector's second opinion
+// (DESIGN.md §16): it must agree with the Welch energy-detect path on real
+// captures, and it must not miss a signal the Welch path would flag.
+
+TEST(Occupancy, AutocorrAgreesWithWelchAcrossTenSeeds) {
+  const std::vector<m::Channel> channels = {
+      {"ch22", 518e6, 524e6},  // carries the fixture's emitter
+      {"ch30", 566e6, 572e6},  // vacant
+  };
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s::RxEnvironment rx;
+    rx.position = {37.87, -122.27, 10.0};
+    auto device = std::make_unique<s::SimulatedSdr>(
+        s::SimulatedSdr::bladerf_like_info(), rx, Rng(100 + seed));
+    s::EmitterConfig cfg;
+    cfg.emitter_id = 3;
+    cfg.position = g::destination(rx.position, 90.0, 20e3);
+    cfg.position.alt_m = 200.0;
+    cfg.carrier_hz = 521e6;
+    cfg.bandwidth_hz = 5.38e6;
+    cfg.eirp_dbm = 60.0;
+    cfg.link.model = speccal::prop::PathModel::kFreeSpace;
+    device->add_source(std::make_shared<s::FixedEmitterSource>(cfg, Rng(200 + seed)));
+
+    const auto sweep = m::SpectrumScanner{}.sweep(*device, 470e6, 600e6);
+    const auto welch = m::detect_occupancy(sweep, channels);
+    ASSERT_EQ(welch.size(), 2u);
+
+    device->set_gain_mode(s::GainMode::kManual);
+    device->set_gain_db(40.0);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      const double center = 0.5 * (channels[c].low_hz + channels[c].high_hz);
+      ASSERT_TRUE(device->tune(center, 8e6)) << channels[c].label;
+      const auto est = m::estimate_occupancy_autocorr(device->capture(16384));
+      EXPECT_EQ(est.occupied, welch[c].occupied)
+          << channels[c].label << " seed " << seed << " rho " << est.rho;
+    }
+  }
+}
+
+TEST(Occupancy, AutocorrRhoMatchesSignalClassOnCaptures) {
+  // The rho magnitudes the anomaly detector's typing rules rely on: an ATSC
+  // channel in an 8 Msps capture holds rho near sinc(pi*B/fs) ~ 0.4, a
+  // vacant channel decorrelates to ~1/sqrt(N).
+  s::RxEnvironment rx;
+  rx.position = {37.87, -122.27, 10.0};
+  auto device = std::make_unique<s::SimulatedSdr>(
+      s::SimulatedSdr::bladerf_like_info(), rx, Rng(55));
+  s::EmitterConfig cfg;
+  cfg.emitter_id = 3;
+  cfg.position = g::destination(rx.position, 90.0, 20e3);
+  cfg.position.alt_m = 200.0;
+  cfg.carrier_hz = 521e6;
+  cfg.bandwidth_hz = 5.38e6;
+  cfg.eirp_dbm = 60.0;
+  cfg.link.model = speccal::prop::PathModel::kFreeSpace;
+  device->add_source(std::make_shared<s::FixedEmitterSource>(cfg, Rng(56)));
+  device->set_gain_mode(s::GainMode::kManual);
+  device->set_gain_db(40.0);
+
+  ASSERT_TRUE(device->tune(521e6, 8e6));
+  const auto atsc = m::estimate_occupancy_autocorr(device->capture(16384));
+  EXPECT_TRUE(atsc.occupied);
+  EXPECT_GT(atsc.rho, 0.25);
+  EXPECT_LT(atsc.rho, 0.7);
+
+  ASSERT_TRUE(device->tune(569e6, 8e6));
+  const auto vacant = m::estimate_occupancy_autocorr(device->capture(16384));
+  EXPECT_FALSE(vacant.occupied);
+  EXPECT_LT(vacant.rho, 0.05);
+}
+
+TEST(Occupancy, AutocorrNoFalseNegativesAtWelchThresholdSnr) {
+  // At the SNR where the Welch path is right at its detection margin, the
+  // autocorrelation path must still call the channel occupied — otherwise
+  // the anomaly detector's cross-check would veto findings the PSD residual
+  // legitimately raised. Ten seeded trials, zero misses allowed, plus zero
+  // false alarms on the matching noise-only captures.
+  const double snr_db = m::OccupancyConfig{}.detection_margin_db;
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  constexpr std::size_t kN = 16384;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(40 + static_cast<std::uint64_t>(trial));
+    // Band-limited signal: 3-tap moving average of white noise (lag-1
+    // rho = 2/3, bandwidth ~ fs/3) scaled to the threshold SNR over unit
+    // white noise.
+    std::vector<std::complex<double>> w(kN + 2);
+    for (auto& v : w) v = {rng.normal(), rng.normal()};
+    std::vector<std::complex<float>> occupied(kN), vacant(kN);
+    const double a = std::sqrt(snr / 3.0);
+    for (std::size_t i = 0; i < kN; ++i) {
+      const auto sig = a * (w[i] + w[i + 1] + w[i + 2]);
+      const std::complex<double> noise{rng.normal(), rng.normal()};
+      occupied[i] = std::complex<float>(sig + noise);
+      vacant[i] = std::complex<float>(std::complex<double>{rng.normal(), rng.normal()});
+    }
+    const auto hit = m::estimate_occupancy_autocorr(occupied);
+    EXPECT_TRUE(hit.occupied) << "trial " << trial << " rho " << hit.rho;
+    // Expected rho = (2/3) * snr/(snr+1); keep a wide deterministic margin.
+    EXPECT_GT(hit.rho, 0.35) << "trial " << trial;
+    const auto miss = m::estimate_occupancy_autocorr(vacant);
+    EXPECT_FALSE(miss.occupied) << "trial " << trial << " rho " << miss.rho;
+    EXPECT_LT(miss.rho, 0.05) << "trial " << trial;
+  }
+}
+
+TEST(Occupancy, AutocorrEdgeCases) {
+  // Short blocks and zero blocks report rho 0 / vacant rather than NaN.
+  EXPECT_FALSE(m::estimate_occupancy_autocorr({}).occupied);
+  std::vector<std::complex<float>> two(2, {1.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(m::estimate_occupancy_autocorr(two).rho, 0.0);
+  std::vector<std::complex<float>> zeros(1024, {0.0f, 0.0f});
+  const auto est = m::estimate_occupancy_autocorr(zeros);
+  EXPECT_DOUBLE_EQ(est.rho, 0.0);
+  EXPECT_FALSE(est.occupied);
+  // A pure CW capture pins rho to 1 (the spurious-emitter signature).
+  std::vector<std::complex<float>> cw(4096);
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    const double ph = 2.0 * std::numbers::pi * 0.073 * static_cast<double>(i);
+    cw[i] = {static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph))};
+  }
+  EXPECT_GT(m::estimate_occupancy_autocorr(cw).rho, 0.99);
+}
+
 // ------------------------------------------------------------------ rem ----
 
 TEST(Rem, TrustWeightedInterpolation) {

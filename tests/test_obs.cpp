@@ -377,8 +377,8 @@ TEST(Integration, FleetRunEmitsNestedSpanTreeAndCounters) {
   const auto summary = calibrator.run(std::move(jobs), registry);
   EXPECT_EQ(summary.calibrated, 2u);
   EXPECT_EQ(nodes.value(), nodes_before + 2);
-  EXPECT_EQ(summary.executor.tasks_run,
-            2u * (speccal::calib::kStageCount + 2));
+  const std::size_t planned_stages = calibrator.pipeline().stage_plan().size();
+  EXPECT_EQ(summary.executor.tasks_run, 2u * (planned_stages + 2));
 
   // Span tree: one fleet_run root, one "task" span per graph task (acquire
   // + one per stage + finalize, per node), and each pipeline stage span
@@ -392,8 +392,8 @@ TEST(Integration, FleetRunEmitsNestedSpanTreeAndCounters) {
     if (cat == "stage") ++stage_spans;
   }
   EXPECT_EQ(fleet_spans, 1u);
-  EXPECT_EQ(task_spans, 2u * (speccal::calib::kStageCount + 2));
-  EXPECT_EQ(stage_spans, 2u * speccal::calib::kStageCount);
+  EXPECT_EQ(task_spans, 2u * (planned_stages + 2));
+  EXPECT_EQ(stage_spans, 2u * planned_stages);
 
   for (const auto& stage : spans) {
     if (stage.at("cat").str() != "stage") continue;
